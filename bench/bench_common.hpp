@@ -1,0 +1,54 @@
+// Shared plumbing for the reproduction benches: the workload catalog
+// (substitution S5 in DESIGN.md), row formatting, and metric shorthands.
+//
+// Every bench binary runs standalone with no arguments, prints
+// paper-style tables to stdout, and exits 0 only if all produced
+// solutions validate.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "algo/partition.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+
+namespace valocal::bench {
+
+/// The adversarial workload matching the paper's partition lower
+/// bounds: the complete (A+1)-ary tree, which Procedure Partition peels
+/// exactly one level per round — Theta(log n / log a) worst case with
+/// O(1) vertex-averaged complexity. Declared arboricity `a` stays
+/// honest (trees have arboricity 1 <= a).
+inline Graph adversarial_tree(std::size_t n, const PartitionParams& p) {
+  return gen::dary_tree(n, p.threshold() + 1);
+}
+
+inline std::string fmt_ratio(double va, double wc) {
+  if (va <= 0) return "-";
+  return Table::num(wc / va, 1) + "x";
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Marks a failed validation; benches report it and exit nonzero.
+class ValidationTracker {
+ public:
+  void expect(bool ok, const std::string& what) {
+    if (!ok) {
+      std::cout << "VALIDATION FAILED: " << what << "\n";
+      failed_ = true;
+    }
+  }
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace valocal::bench

@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for experiment M1 in DESIGN.md —
+// the Section 1.2 "simulation efficiency" motivation: the wall-clock
+// cost of simulating a LOCAL execution on one host is proportional to
+// RoundSum (the quantity the vertex-averaged measure minimizes), not to
+// n times the worst case. Algorithms with small VA therefore simulate
+// proportionally faster, which these benches make directly visible, and
+// the fixtures double as engine-throughput regressions.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "algo/coloring_a2logn.hpp"
+#include "algo/mis.hpp"
+#include "algo/partition.hpp"
+#include "algo/rand_delta_plus1.hpp"
+#include "baseline/be08_arb_color.hpp"
+#include "baseline/luby_mis.hpp"
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+const Graph& tree(std::size_t n) {
+  static std::map<std::size_t, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+    it = cache.emplace(n, gen::dary_tree(n, params.threshold() + 1))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Partition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  std::uint64_t round_sum = 0;
+  for (auto _ : state) {
+    auto result = compute_h_partition(g, {.arboricity = 1});
+    round_sum = result.metrics.round_sum();
+    benchmark::DoNotOptimize(result.hset.data());
+  }
+  state.counters["round_sum"] = static_cast<double>(round_sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(round_sum)));
+}
+BENCHMARK(BM_Partition)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ColoringA2LogN_EarlyTermination(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  std::uint64_t round_sum = 0;
+  for (auto _ : state) {
+    auto result = compute_coloring_a2logn(g, {.arboricity = 1});
+    round_sum = result.metrics.round_sum();
+    benchmark::DoNotOptimize(result.color.data());
+  }
+  state.counters["round_sum"] = static_cast<double>(round_sum);
+}
+BENCHMARK(BM_ColoringA2LogN_EarlyTermination)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Be08_RunToCompletion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  std::uint64_t round_sum = 0;
+  for (auto _ : state) {
+    auto result = compute_be08_arb_color(g, {.arboricity = 1});
+    round_sum = result.metrics.round_sum();
+    benchmark::DoNotOptimize(result.color.data());
+  }
+  state.counters["round_sum"] = static_cast<double>(round_sum);
+}
+BENCHMARK(BM_Be08_RunToCompletion)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Mis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  for (auto _ : state) {
+    auto result = compute_mis(g, {.arboricity = 1});
+    benchmark::DoNotOptimize(result.in_set);
+  }
+}
+BENCHMARK(BM_Mis)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RandDeltaPlusOne(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  for (auto _ : state) {
+    auto result = compute_rand_delta_plus1(g, 7);
+    benchmark::DoNotOptimize(result.color.data());
+  }
+}
+BENCHMARK(BM_RandDeltaPlusOne)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_LubyMis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  for (auto _ : state) {
+    auto result = compute_luby_mis(g, 7);
+    benchmark::DoNotOptimize(result.in_set);
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace valocal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Reproduction of Table 2 (MIS, (2Delta-1)-edge-coloring, maximal
+// matching): vertex-averaged vs worst-case rounds of the Section 8
+// algorithms (claimed VA O(a + log* n), with the S2/S3 log a factor)
+// against Luby's randomized O(log n) MIS baseline. Workloads: the
+// adversarial (A+1)-ary tree, forest unions, and the star-union
+// Delta >> a family. Experiment ids T2.1-T2.3 in DESIGN.md.
+#include <iostream>
+
+#include "algo/edge_coloring.hpp"
+#include "algo/matching.hpp"
+#include "algo/mis.hpp"
+#include "baseline/luby_mis.hpp"
+#include "baseline/wc_edge_mm.hpp"
+#include "bench_common.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal::bench {
+namespace {
+
+int run() {
+  ValidationTracker tracker;
+  const PartitionParams params{.arboricity = 1, .epsilon = 2.0};
+
+  print_header("Table 2 — adversarial (A+1)-ary tree, a=1");
+  Table t({"problem", "algorithm", "n", "VA", "WC", "WC/VA"});
+  for (std::size_t n : {1 << 12, 1 << 14, 1 << 16, 1 << 18}) {
+    const Graph g = adversarial_tree(n, params);
+
+    const auto mis = compute_mis(g, params);
+    tracker.expect(is_mis(g, mis.in_set), "T2.1 MIS");
+    t.add_row({"T2.1 MIS", "mis (Cor 8.4)",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(mis.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   mis.metrics.worst_case())),
+               fmt_ratio(mis.metrics.vertex_averaged(),
+                         static_cast<double>(mis.metrics.worst_case()))});
+
+    const auto luby = compute_luby_mis(g, n);
+    tracker.expect(is_mis(g, luby.in_set), "T2.1 Luby");
+    t.add_row({"T2.1 MIS", "luby (baseline, rand O(log n))",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(luby.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   luby.metrics.worst_case())),
+               fmt_ratio(luby.metrics.vertex_averaged(),
+                         static_cast<double>(
+                             luby.metrics.worst_case()))});
+
+    const auto ec = compute_edge_coloring(g, params);
+    tracker.expect(is_proper_edge_coloring(g, ec.color), "T2.2 EC");
+    tracker.expect(ec.num_colors <= ec.palette_bound, "T2.2 palette");
+    t.add_row({"T2.2 (2D-1)-EC", "edge_coloring (Cor 8.6)",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(ec.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   ec.metrics.worst_case())),
+               fmt_ratio(ec.metrics.vertex_averaged(),
+                         static_cast<double>(ec.metrics.worst_case()))});
+
+    const auto mm = compute_matching(g, params);
+    tracker.expect(is_maximal_matching(g, mm.in_matching), "T2.3 MM");
+    t.add_row({"T2.3 MM", "matching (Cor 8.8)",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(mm.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   mm.metrics.worst_case())),
+               fmt_ratio(mm.metrics.vertex_averaged(),
+                         static_cast<double>(mm.metrics.worst_case()))});
+
+    if (n > (1 << 14)) continue;  // baselines: small sizes suffice
+    const auto wc_ec = compute_wc_edge_coloring(g);
+    tracker.expect(is_proper_edge_coloring(g, wc_ec.color),
+                   "T2.2 baseline EC");
+    t.add_row({"T2.2 (2D-1)-EC", "baseline (run to completion)",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(wc_ec.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   wc_ec.metrics.worst_case())),
+               "1.0x"});
+    const auto wc_mm = compute_wc_matching(g);
+    tracker.expect(is_maximal_matching(g, wc_mm.in_matching),
+                   "T2.3 baseline MM");
+    t.add_row({"T2.3 MM", "baseline (run to completion)",
+               Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(wc_mm.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   wc_mm.metrics.worst_case())),
+               "1.0x"});
+  }
+  t.print(std::cout);
+
+  print_header("Table 2 — forest unions (VA tracks a, not n)");
+  Table tf({"problem", "n", "a", "VA", "WC"});
+  for (std::size_t n : {4096u, 32768u}) {
+    for (std::size_t a : {2u, 4u, 8u}) {
+      const Graph g = gen::forest_union(n, a, n + a);
+      const PartitionParams pf{.arboricity = a, .epsilon = 1.0};
+      const auto mis = compute_mis(g, pf);
+      tracker.expect(is_mis(g, mis.in_set), "T2 forest MIS");
+      tf.add_row({"MIS", Table::num(static_cast<std::uint64_t>(n)),
+                  Table::num(static_cast<std::uint64_t>(a)),
+                  Table::num(mis.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(
+                      mis.metrics.worst_case()))});
+      const auto ec = compute_edge_coloring(g, pf);
+      tracker.expect(is_proper_edge_coloring(g, ec.color),
+                     "T2 forest EC");
+      tf.add_row({"EC", Table::num(static_cast<std::uint64_t>(n)),
+                  Table::num(static_cast<std::uint64_t>(a)),
+                  Table::num(ec.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(
+                      ec.metrics.worst_case()))});
+      const auto mm = compute_matching(g, pf);
+      tracker.expect(is_maximal_matching(g, mm.in_matching),
+                     "T2 forest MM");
+      tf.add_row({"MM", Table::num(static_cast<std::uint64_t>(n)),
+                  Table::num(static_cast<std::uint64_t>(a)),
+                  Table::num(mm.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(
+                      mm.metrics.worst_case()))});
+    }
+  }
+  tf.print(std::cout);
+
+  print_header("Table 2 — star unions (Delta >> a: VA independent of Delta)");
+  Table ts({"problem", "n", "Delta", "VA", "WC"});
+  for (std::size_t n : {4096u, 32768u}) {
+    const Graph g = gen::star_union(n, 8);
+    const PartitionParams ps{.arboricity = 2, .epsilon = 1.0};
+    const auto mis = compute_mis(g, ps);
+    tracker.expect(is_mis(g, mis.in_set), "T2 star MIS");
+    ts.add_row({"MIS", Table::num(static_cast<std::uint64_t>(n)),
+                Table::num(static_cast<std::uint64_t>(g.max_degree())),
+                Table::num(mis.metrics.vertex_averaged()),
+                Table::num(static_cast<std::uint64_t>(
+                    mis.metrics.worst_case()))});
+    const auto ec = compute_edge_coloring(g, ps);
+    tracker.expect(is_proper_edge_coloring(g, ec.color), "T2 star EC");
+    ts.add_row({"EC", Table::num(static_cast<std::uint64_t>(n)),
+                Table::num(static_cast<std::uint64_t>(g.max_degree())),
+                Table::num(ec.metrics.vertex_averaged()),
+                Table::num(static_cast<std::uint64_t>(
+                    ec.metrics.worst_case()))});
+    const auto mm = compute_matching(g, ps);
+    tracker.expect(is_maximal_matching(g, mm.in_matching), "T2 star MM");
+    ts.add_row({"MM", Table::num(static_cast<std::uint64_t>(n)),
+                Table::num(static_cast<std::uint64_t>(g.max_degree())),
+                Table::num(mm.metrics.vertex_averaged()),
+                Table::num(static_cast<std::uint64_t>(
+                    mm.metrics.worst_case()))});
+  }
+  ts.print(std::cout);
+
+  std::cout << "\nShape check: VA flat-ish in n (it tracks a log a + "
+               "log* n) while WC grows ~log n blocks; on star unions VA "
+               "must not scale with Delta.\n"
+               "Note on the run-to-completion EC/MM baseline: on "
+               "bounded-degree trees (Delta ~ a) its one-shot global "
+               "schedule costs about one of our iteration blocks, so "
+               "our VA advantage over it only appears in the Delta >> a "
+               "regime — the same separation T1.7 shows for vertex "
+               "coloring (the baseline there pays Delta log Delta per "
+               "vertex, ours a log a).\n";
+  return tracker.exit_code();
+}
+
+}  // namespace
+}  // namespace valocal::bench
+
+int main() { return valocal::bench::run(); }

@@ -1,0 +1,103 @@
+// Tutorial: writing your own vertex-averaged-efficient algorithm.
+//
+// Two levels of the API are shown:
+//   1. a raw LocalAlgorithm on the engine (a "minimum-ID beacon"), and
+//   2. the same idea rebuilt with the HSetComposition combinator, which
+//      inherits Corollary 6.4's O(T) vertex-averaged guarantee for
+//      free.
+//
+// Build & run: ./build/examples/example_custom_algorithm
+#include <algorithm>
+#include <iostream>
+
+#include "algo/hset_composition.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
+using namespace valocal;
+
+namespace {
+
+// Level 1 — a raw LOCAL algorithm: every vertex learns the minimum ID
+// within distance R and terminates. r(v) = R for everyone, so VA = WC:
+// this is what algorithms look like WITHOUT the paper's techniques.
+struct RadiusMin {
+  std::size_t radius;
+
+  struct State {
+    Vertex best = 0;
+  };
+  using Output = Vertex;
+
+  void init(Vertex v, const Graph&, State& s) const { s.best = v; }
+
+  bool step(Vertex, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const {
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      next.best = std::min(next.best, view.neighbor_state(i).best);
+    return round >= radius;
+  }
+
+  Output output(Vertex, const State& s) const { return s.best; }
+};
+
+// Level 2 — the same flavor of computation expressed as a per-H-set
+// subroutine: each vertex learns the minimum ID within its H-SET
+// neighborhood at radius R. Because the subroutine only ever runs on
+// the freshly formed H-set while everyone else decays away, the
+// vertex-averaged complexity is O(R), not O(R * #iterations).
+struct HSetRadiusMin {
+  std::size_t radius;
+
+  struct State {
+    Vertex best = 0;
+    bool seeded = false;
+  };
+  using Output = Vertex;
+
+  std::size_t sub_rounds() const { return radius + 1; }
+
+  bool step(Vertex v, std::size_t t, const SubView<State>& view,
+            State& next, Xoshiro256&) const {
+    if (t == 0) {
+      next.best = v;
+      next.seeded = true;
+      return false;
+    }
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      if (view.same_set(i) && view.neighbor_state(i).seeded)
+        next.best = std::min(next.best, view.neighbor_state(i).best);
+    return false;
+  }
+
+  Output output(Vertex, const State& s) const { return s.best; }
+};
+
+}  // namespace
+
+int main() {
+  const Graph g = gen::forest_union(20'000, 3, 7);
+  constexpr std::size_t kRadius = 8;
+
+  const auto flat = run_local(g, RadiusMin{kRadius});
+  std::cout << "raw LOCAL algorithm (radius " << kRadius << "):\n"
+            << "  VA = " << flat.metrics.vertex_averaged()
+            << ", WC = " << flat.metrics.worst_case()
+            << "  (everyone pays the radius)\n";
+
+  const auto composed = run_hset_composition(
+      g, {.arboricity = 3}, HSetRadiusMin{kRadius});
+  std::cout << "HSetComposition version:\n"
+            << "  VA = " << composed.metrics.vertex_averaged()
+            << ", WC = " << composed.metrics.worst_case()
+            << "  (Corollary 6.4: VA stays O(T) while iterations"
+               " stack into WC)\n";
+
+  std::cout << "\nTo write your own subroutine, implement\n"
+               "  sub_rounds() / step(v, t, SubView, next, rng) /"
+               " output(v, state)\n"
+               "and hand it to run_hset_composition — the partition\n"
+               "interleaving, the round budgeting and the metrics come"
+               " with the combinator.\n";
+  return 0;
+}

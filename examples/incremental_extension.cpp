@@ -1,0 +1,58 @@
+// Incremental recoloring of a growing network — Definition 8.1 at
+// work. A deployed sensor field already holds a proper (Delta+1)
+// frequency assignment; a new batch of sensors is installed. Because
+// (Delta+1)-coloring is a problem of extension from any partial
+// solution (Section 8.1), the old assignment never changes: the new
+// nodes run the distributed extension, the old nodes merely announce
+// once, and the disruption is confined to the newcomers.
+#include <iostream>
+
+#include "algo/delta_plus1.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+#include "validate/validate.hpp"
+
+int main() {
+  using namespace valocal;
+  const std::size_t old_n = 8000, batch = 2000;
+  const PartitionParams params{.arboricity = 3};
+
+  // The combined network: the old field plus the new batch wired in.
+  const Graph combined = gen::forest_union(old_n + batch, 3, 99);
+
+  // Day 0: the legacy assignment (computed here on the combined graph
+  // so the colors fit its Delta+1 palette).
+  const auto legacy = compute_delta_plus1(combined, params);
+
+  // Day 1: pretend only the old vertices keep their colors and the
+  // batch arrives uncolored; extend without touching the legacy part.
+  std::vector<std::int32_t> partial(combined.num_vertices(), -1);
+  for (Vertex v = 0; v < old_n; ++v) partial[v] = legacy.color[v];
+  const auto extended = extend_delta_plus1(combined, params, partial);
+
+  if (!is_proper_coloring(combined, extended.color)) {
+    std::cout << "extension produced an improper coloring!\n";
+    return 1;
+  }
+  std::size_t changed = 0;
+  for (Vertex v = 0; v < old_n; ++v)
+    changed += extended.color[v] != legacy.color[v];
+
+  std::uint64_t old_rounds = 0, new_rounds = 0;
+  for (Vertex v = 0; v < combined.num_vertices(); ++v)
+    (v < old_n ? old_rounds : new_rounds) +=
+        extended.metrics.rounds[v];
+
+  Table t({"population", "vertices", "avg rounds in the extension"});
+  t.add_row({"legacy (pre-colored)", Table::num(std::uint64_t{old_n}),
+             Table::num(static_cast<double>(old_rounds) / old_n)});
+  t.add_row({"new batch", Table::num(std::uint64_t{batch}),
+             Table::num(static_cast<double>(new_rounds) / batch)});
+  std::cout << "Extending a proper partial coloring to " << batch
+            << " new sensors:\n";
+  t.print(std::cout);
+  std::cout << "\nLegacy colors changed: " << changed
+            << " (Definition 8.1 demands 0). The old field announces "
+               "once and sleeps; only the batch pays rounds.\n";
+  return changed == 0 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Frequency assignment in a battery-powered sensor grid — the paper's
+// energy-efficiency motivation (Section 1.2) made concrete.
+//
+// A 200x200 sensor grid (planar, arboricity <= 3) needs a TDMA slot
+// assignment = proper vertex coloring. Every round a radio stays awake
+// costs energy, so the energy bill of the whole network is proportional
+// to RoundSum — exactly n times the vertex-averaged complexity. We
+// compare the O(a)-coloring of Section 7.4 (few slots) and the
+// O(a^2 log n)-coloring of Section 7.2 (O(1) awake-rounds per node on
+// average) against the run-to-completion Arb-Color baseline, and print
+// the energy ledger.
+#include <iostream>
+
+#include "algo/coloring_a2logn.hpp"
+#include "algo/coloring_oa.hpp"
+#include "baseline/be08_arb_color.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+#include "validate/validate.hpp"
+
+int main() {
+  using namespace valocal;
+  const Graph g = gen::grid(200, 200);
+  const PartitionParams params{.arboricity = 3, .epsilon = 1.0};
+  const double joules_per_awake_round = 0.05;  // per node, illustrative
+
+  Table t({"algorithm", "TDMA slots", "avg awake rounds",
+           "max awake rounds", "network energy (J)"});
+  auto report = [&](const std::string& name, const ColoringResult& r) {
+    if (!is_proper_coloring(g, r.color)) {
+      std::cout << "IMPROPER COLORING from " << name << "\n";
+      std::exit(1);
+    }
+    t.add_row({name,
+               Table::num(static_cast<std::uint64_t>(r.num_colors)),
+               Table::num(r.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(
+                   r.metrics.worst_case())),
+               Table::num(static_cast<double>(r.metrics.round_sum()) *
+                              joules_per_awake_round,
+                          1)});
+  };
+
+  report("Sec 7.4 O(a)-coloring", compute_coloring_oa(g, params));
+  report("Sec 7.2 O(a^2 log n)-coloring",
+         compute_coloring_a2logn(g, params));
+  report("baseline Arb-Color (run to completion)",
+         compute_be08_arb_color(g, params));
+
+  std::cout << "Sensor grid 200x200 (" << g.num_vertices()
+            << " nodes), shared battery budget:\n";
+  t.print(std::cout);
+  std::cout << "\nThe spectrum/energy tradeoff: Section 7.2 buys a\n"
+               "constant number of awake rounds per radio (orders of\n"
+               "magnitude less energy) at the price of a larger slot\n"
+               "table; the O(a)-slot schemes pay long synchronized\n"
+               "schedules — on easy topologies like this grid the\n"
+               "run-to-completion baseline is just as expensive.\n";
+  return 0;
+}

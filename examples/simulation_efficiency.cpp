@@ -1,0 +1,55 @@
+// Big-graph simulation efficiency — the paper's third motivation
+// (Section 1.2): when one host simulates a large distributed network
+// (common in big-data graph processing), the host executes RoundSum
+// vertex-rounds in total, so minimizing the vertex-averaged complexity
+// minimizes the simulation wall-clock directly.
+//
+// We simulate the same O(a)-quality coloring twice on one host — the
+// Section 7.2 early-termination pipeline vs the run-to-completion
+// Arb-Color baseline — and report both the abstract cost (RoundSum) and
+// the actual wall-clock of this very process.
+#include <chrono>
+#include <iostream>
+
+#include "algo/coloring_a2logn.hpp"
+#include "baseline/be08_arb_color.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+#include "validate/validate.hpp"
+
+int main() {
+  using namespace valocal;
+  using clock = std::chrono::steady_clock;
+  const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+  const Graph g = gen::dary_tree(1 << 18, params.threshold() + 1);
+
+  Table t({"pipeline", "RoundSum", "avg rounds/vertex", "wall-clock ms"});
+  auto timed = [&](const std::string& name, auto&& fn) {
+    const auto start = clock::now();
+    const ColoringResult r = fn();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        clock::now() - start)
+                        .count();
+    if (!is_proper_coloring(g, r.color)) {
+      std::cout << "IMPROPER COLORING from " << name << "\n";
+      std::exit(1);
+    }
+    t.add_row({name, Table::num(r.metrics.round_sum()),
+               Table::num(r.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(ms))});
+  };
+
+  timed("Sec 7.2 (vertex-averaged O(1))",
+        [&] { return compute_coloring_a2logn(g, params); });
+  timed("Arb-Color baseline (run to completion)",
+        [&] { return compute_be08_arb_color(g, params); });
+
+  std::cout << "Simulating a " << g.num_vertices()
+            << "-vertex network on this single host:\n";
+  t.print(std::cout);
+  std::cout << "\nThe host's work tracks RoundSum — the numerator of "
+               "the vertex-averaged complexity — so the early-"
+               "termination pipeline simulates far fewer vertex-rounds "
+               "for a coloring of the same graph.\n";
+  return 0;
+}

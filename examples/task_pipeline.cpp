@@ -1,0 +1,65 @@
+// Pipelined tasks with asynchronous start — the paper's second
+// motivation (Section 1.2): when a task B follows a task A, letting
+// each processor start B the moment ITS copy of A terminates beats
+// waiting for the global completion of A whenever the vertex-averaged
+// complexity of A is below its worst case.
+//
+// Here task A = MIS (Corollary 8.4, VA << WC on the adversarial tree)
+// and task B is a fixed-length local computation of B_ROUNDS rounds.
+// We compare the completion-time distribution under asynchronous start
+// (finish(v) = r_A(v) + B_ROUNDS) against the synchronized start
+// (finish(v) = WC_A + B_ROUNDS for every v).
+#include <algorithm>
+#include <iostream>
+
+#include "algo/mis.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+#include "validate/validate.hpp"
+
+int main() {
+  using namespace valocal;
+  const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+  const Graph g = gen::dary_tree(1 << 16, params.threshold() + 1);
+  constexpr std::uint32_t kTaskBRounds = 10;
+
+  const auto mis = compute_mis(g, params);
+  if (!is_mis(g, mis.in_set)) {
+    std::cout << "invalid MIS\n";
+    return 1;
+  }
+  const auto& rounds = mis.metrics.rounds;
+  const auto wc = static_cast<std::uint32_t>(mis.metrics.worst_case());
+
+  std::vector<std::uint32_t> async_finish(rounds.begin(), rounds.end());
+  for (auto& r : async_finish) r += kTaskBRounds;
+  std::sort(async_finish.begin(), async_finish.end());
+
+  auto pct = [&](double q) {
+    return async_finish[static_cast<std::size_t>(
+        q * static_cast<double>(async_finish.size() - 1))];
+  };
+
+  Table t({"strategy", "median finish", "p90", "p99", "last vertex"});
+  t.add_row({"asynchronous start (paper)",
+             Table::num(static_cast<std::uint64_t>(pct(0.5))),
+             Table::num(static_cast<std::uint64_t>(pct(0.9))),
+             Table::num(static_cast<std::uint64_t>(pct(0.99))),
+             Table::num(static_cast<std::uint64_t>(
+                 async_finish.back()))});
+  const auto sync = static_cast<std::uint64_t>(wc + kTaskBRounds);
+  t.add_row({"synchronized start (classical)", Table::num(sync),
+             Table::num(sync), Table::num(sync), Table::num(sync)});
+
+  std::cout << "Task A = MIS on a " << g.num_vertices()
+            << "-vertex adversarial tree; task B = " << kTaskBRounds
+            << " local rounds.\n";
+  t.print(std::cout);
+  std::cout << "\nWith asynchronous start the median processor finishes "
+               "the whole pipeline in "
+            << pct(0.5) << " rounds, vs " << sync
+            << " for everyone under a synchronized start — the "
+               "advantage Section 1.2 predicts whenever T-bar(A) = "
+               "o(T(A)).\n";
+  return 0;
+}

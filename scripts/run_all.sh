@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, run the full test suite, and
+# regenerate every table/figure of the paper into bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    if [ "$(basename "$b")" = bench_micro ]; then
+      "$b" --benchmark_min_time=0.05
+    else
+      "$b"
+    fi
+    echo "exit=$?"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done: test_output.txt, bench_output.txt"

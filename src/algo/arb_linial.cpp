@@ -1,0 +1,28 @@
+#include "algo/arb_linial.hpp"
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+ArbLinialLadder::ArbLinialLadder(std::uint64_t p0, std::size_t cover)
+    : cover_(cover) {
+  VALOCAL_REQUIRE(p0 >= 1 && cover >= 1, "need p0 >= 1, cover >= 1");
+  schedule_.push_back(p0);
+  while (true) {
+    CoverFreeFamily family(schedule_.back(), cover_);
+    const std::uint64_t next = family.ground_size();
+    if (next >= schedule_.back()) break;
+    families_.push_back(std::move(family));
+    schedule_.push_back(next);
+  }
+}
+
+std::uint64_t ArbLinialLadder::apply_step(
+    std::size_t t, std::uint64_t own,
+    std::span<const std::uint64_t> parents) const {
+  VALOCAL_REQUIRE(t < families_.size(), "step index out of range");
+  VALOCAL_DCHECK(own < schedule_[t], "own color exceeds step palette");
+  return families_[t].pick_escaping(own, parents);
+}
+
+}  // namespace valocal

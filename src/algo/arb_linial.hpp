@@ -1,0 +1,50 @@
+// Procedure Arb-Linial-Coloring (Section 7.2; [8], based on Linial [19]).
+//
+// Given an orientation with out-degree <= r (from a forest
+// decomposition), each step maps a proper p-coloring to a proper
+// coloring with the ground size of an (p, r)-cover-free family: a vertex
+// picks an element of its color's set escaping the union of its <= r
+// parents' sets. Iterating for O(log* p) steps reaches the family's
+// fixed point of O(r^2 log r) colors (substitution S1 in DESIGN.md).
+//
+// The ladder below precomputes the whole color schedule — a pure
+// function of (p0, r) every vertex can derive locally — so state
+// machines can budget the exact number of rounds in advance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coverfree/coverfree.hpp"
+
+namespace valocal {
+
+class ArbLinialLadder {
+ public:
+  /// Schedule for reducing a p0-coloring against out-degree <= cover.
+  ArbLinialLadder(std::uint64_t p0, std::size_t cover);
+
+  /// Number of reduction steps (rounds).
+  std::size_t num_steps() const { return families_.size(); }
+
+  /// Palette size before step t (t = 0 is p0).
+  std::uint64_t colors_before(std::size_t t) const { return schedule_[t]; }
+
+  /// Palette size after all steps.
+  std::uint64_t final_colors() const { return schedule_.back(); }
+
+  /// Applies step t: own current color plus the <= cover parents'
+  /// current colors yield the next color.
+  std::uint64_t apply_step(std::size_t t, std::uint64_t own,
+                           std::span<const std::uint64_t> parents) const;
+
+  std::size_t cover() const { return cover_; }
+
+ private:
+  std::size_t cover_;
+  std::vector<std::uint64_t> schedule_;     // p0, p1, ..., p_final
+  std::vector<CoverFreeFamily> families_;   // one per step
+};
+
+}  // namespace valocal

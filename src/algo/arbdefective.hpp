@@ -1,0 +1,71 @@
+// The arbdefective-coloring toolkit of Section 7.8 (Algorithms 1-3 of
+// the paper, from [4]/[5]): Procedure Partial-Orientation, Procedure
+// Arbdefective-Coloring / H-Arbdefective-Coloring, and Procedure
+// Legal-Coloring.
+//
+// These procedures drive a *recursive, parallel-branching* execution, so
+// this module realizes them as centralized round-faithful drivers: each
+// synchronized stage's duration is derived from an actual simulation of
+// that stage (Procedure Partition and the leaf Arb-Color runs go through
+// the real LOCAL engine; the per-H-set coloring plans and the
+// wait-for-parents picks are simulated round by round), and every
+// participant of a stage is charged the stage's full duration — the same
+// synchronized-schedule accounting the paper's upper-bound proofs use.
+//
+// A b-arbdefective c-coloring assigns one of c colors to each vertex
+// such that each color class induces a subgraph of arboricity <= b.
+//
+// Substitution S4 (DESIGN.md): the floor(a/t)-defective O(t^2)-coloring
+// used inside Partial-Orientation is realized by computing a proper
+// (A+1)-coloring of each H-set (the DegPlusOnePlan) and bucketing it
+// mod t^2 — defect <= ceil((A+1)/t^2), which is at most the paper's
+// floor(a/t) for the parameter choices of Section 7.8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+/// A sub-execution on a (sub)graph: per-vertex output plus per-vertex
+/// LOCAL round counts under the synchronized schedule.
+struct SubColoring {
+  std::vector<std::uint64_t> color;
+  std::vector<std::uint32_t> rounds;
+  std::uint64_t palette = 0;
+};
+
+struct ArbdefectiveResult {
+  std::vector<std::uint64_t> color;  // class in [0, k)
+  std::size_t duration = 0;          // synchronized stage length (rounds)
+  /// Per-vertex rounds within the stage (pick time = psi rounds +
+  /// wait-chain depth + 1); duration is their maximum. Lets callers do
+  /// per-vertex instead of stage-synchronized accounting.
+  std::vector<std::uint32_t> rounds;
+};
+
+/// Procedure Arbdefective-Coloring(G, k, t) with a caller-supplied
+/// H-partition (H-Arbdefective-Coloring): hset[v] >= 1 for all v;
+/// `threshold` is the H-partition degree bound A. Produces a
+/// floor(a/t + (2+eps)a/k)-arbdefective k-coloring.
+ArbdefectiveResult h_arbdefective_coloring(
+    const Graph& g, const std::vector<std::int32_t>& hset,
+    std::size_t threshold, std::size_t k, std::size_t t);
+
+/// Procedure Arbdefective-Coloring(G, k, t) that runs its own Procedure
+/// Partition (arboricity bound `arboricity`, epsilon = 2 as in the
+/// paper); duration includes the partition rounds.
+ArbdefectiveResult arbdefective_coloring(const Graph& g,
+                                         std::size_t arboricity,
+                                         std::size_t k, std::size_t t);
+
+/// Procedure Legal-Coloring(G, p) (Algorithm 3): iteratively refines
+/// arbdefective colorings until each part has arboricity <= p, then
+/// colors every part in parallel with the Arb-Color of [8] on disjoint
+/// palettes. Requires p >= 6 (convergence needs p > 3 + eps, eps = 2).
+SubColoring legal_coloring(const Graph& g, std::size_t arboricity,
+                           std::size_t p);
+
+}  // namespace valocal

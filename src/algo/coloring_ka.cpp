@@ -1,0 +1,118 @@
+#include "algo/coloring_ka.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "util/mathx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+ColoringKaAlgo::ColoringKaAlgo(std::size_t num_vertices,
+                               PartitionParams params, int k)
+    : params_(params) {
+  params_.check();
+  const int k_max = rho(std::max<std::size_t>(2, num_vertices));
+  k_ = std::clamp(k <= 0 ? k_max : k, 2, std::max(2, k_max));
+  segments_ = make_segments(num_vertices, params_.epsilon, k_);
+  plan_ = std::make_shared<DegPlusOnePlan>(
+      std::max<std::uint64_t>(1, num_vertices), params_.threshold());
+  tcol_ = plan_->num_rounds();
+
+  const std::size_t block = 1 + tcol_;
+  const std::size_t levels = params_.threshold() + 1;
+  std::size_t start = 1;
+  for (const Segment& seg : segments_) {
+    region_start_.push_back(start);  // blocks region
+    start += seg.partition_rounds * block;
+    region_start_.push_back(start);  // recolor region
+    start += seg.partition_rounds * levels + 2;
+  }
+  region_start_.push_back(start);  // end sentinel
+}
+
+bool ColoringKaAlgo::step(Vertex, std::size_t round,
+                          const RoundView<State>& view, State& next,
+                          Xoshiro256&) const {
+  const auto& self = view.self();
+  std::size_t region = 0;
+  while (region + 1 < region_start_.size() &&
+         round >= region_start_[region + 1])
+    ++region;
+  VALOCAL_ENSURE(region + 1 < region_start_.size(),
+                 "coloring_ka schedule exhausted with active vertices");
+  const std::size_t seg_idx = region / 2;
+  const Segment& seg = segments_[seg_idx];
+  const std::size_t rel = round - region_start_[region];
+  const auto in_seg = [&](std::int32_t h) {
+    return h >= static_cast<std::int32_t>(seg.first_hset) &&
+           h <= static_cast<std::int32_t>(seg.last_hset);
+  };
+
+  if (region % 2 == 0) {
+    // Blocks region: (1 + tcol) rounds per H-set of the segment.
+    const std::size_t block = 1 + tcol_;
+    const std::size_t block_idx = rel / block;   // 0-based within segment
+    const std::size_t pos = rel % block;
+    const std::size_t hset_index = seg.first_hset + block_idx;
+    if (pos == 0) {
+      if (self.hset == 0)
+        next.hset = partition_try_join(hset_index, view,
+                                       params_.threshold());
+      return false;
+    }
+    // Plan round pos-1 for H_{hset_index}.
+    if (self.hset == static_cast<std::int32_t>(hset_index)) {
+      std::vector<std::uint64_t> nbrs;
+      nbrs.reserve(view.degree());
+      for (std::size_t i = 0; i < view.degree(); ++i) {
+        const auto& nbr = view.neighbor_state(i);
+        if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
+      }
+      next.aux = plan_->advance(pos - 1, self.aux, nbrs);
+    }
+    return false;
+  }
+
+  // Recolor region for this segment: wait for all same-segment parents
+  // (later H-set, or same H-set with larger auxiliary color), then pick
+  // the smallest free color of {0..A} and terminate with the segment's
+  // palette offset.
+  if (!in_seg(self.hset) || self.pick >= 0) return false;
+  const std::size_t a_bound = params_.threshold();
+  std::vector<char> taken(a_bound + 1, 0);
+  for (std::size_t i = 0; i < view.degree(); ++i) {
+    const auto& nbr = view.neighbor_state(i);
+    if (!in_seg(nbr.hset)) continue;
+    const bool parent = nbr.hset > self.hset ||
+                        (nbr.hset == self.hset && nbr.aux > self.aux);
+    if (!parent) continue;
+    if (nbr.pick < 0) return false;
+    taken[nbr.pick] = 1;
+  }
+  std::int32_t pick = 0;
+  while (pick <= static_cast<std::int32_t>(a_bound) && taken[pick])
+    ++pick;
+  VALOCAL_ENSURE(pick <= static_cast<std::int32_t>(a_bound),
+                 "recoloring palette exhausted: H-partition bound broken");
+  next.pick = pick;
+  next.final_color = static_cast<std::int64_t>(
+      seg_idx * (a_bound + 1) + static_cast<std::size_t>(pick));
+  return true;
+}
+
+ColoringResult compute_coloring_ka(const Graph& g, PartitionParams params,
+                                   int k) {
+  ColoringKaAlgo algo(g.num_vertices(), params, k);
+  auto run = run_local(g, algo);
+
+  ColoringResult result;
+  result.color = std::move(run.outputs);
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = algo.palette_bound();
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,67 @@
+// O(k a)-vertex-coloring in O~(a log^(k) n) vertex-averaged complexity
+// (Section 7.7, Theorem 7.16) — the segmentation scheme with:
+// algorithm A = the (Delta+1)-coloring plan on each freshly formed
+// H-set (auxiliary palette A+1; substitution S2), algorithm B = orient
+// within an H-set towards the larger auxiliary color (acyclic, length
+// <= A) and across H-sets towards the later set, algorithm C = the
+// wait-for-parents recoloring of the whole segment from the palette
+// {0..A} offset by the segment index.
+//
+// Corollary 7.17: k = rho(n) gives O(a log* n) colors with
+// O~(a log* n) vertex-averaged complexity.
+#pragma once
+
+#include <memory>
+
+#include "algo/coloring_result.hpp"
+#include "algo/deg_plus_one_plan.hpp"
+#include "algo/partition.hpp"
+#include "algo/segmentation.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class ColoringKaAlgo {
+ public:
+  struct State : PartitionState {
+    std::uint64_t aux = 0;
+    std::int32_t pick = -1;
+    std::int64_t final_color = -1;
+  };
+  using Output = int;
+
+  ColoringKaAlgo(std::size_t num_vertices, PartitionParams params, int k);
+
+  void init(Vertex v, const Graph&, State& s) const { s.aux = v; }
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const {
+    return static_cast<Output>(s.final_color);
+  }
+
+  std::size_t palette_bound() const {
+    return static_cast<std::size_t>(k_) * (params_.threshold() + 1);
+  }
+  int k() const { return k_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  std::size_t plan_rounds() const { return tcol_; }
+
+ private:
+  PartitionParams params_;
+  int k_;
+  std::vector<Segment> segments_;
+  // Per segment: [blocks region][recolor region]; region_start_ holds
+  // 2*segments + 1 entries (round numbers, 1-based).
+  std::vector<std::size_t> region_start_;
+  std::shared_ptr<const DegPlusOnePlan> plan_;
+  std::size_t tcol_ = 0;
+};
+
+/// k <= 0 selects k = rho(n) (Corollary 7.17).
+ColoringResult compute_coloring_ka(const Graph& g, PartitionParams params,
+                                   int k);
+
+}  // namespace valocal

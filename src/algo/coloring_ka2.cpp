@@ -1,0 +1,116 @@
+#include "algo/coloring_ka2.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "util/mathx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+ColoringKa2Algo::ColoringKa2Algo(std::size_t num_vertices,
+                                 PartitionParams params, int k)
+    : params_(params), num_vertices_(num_vertices) {
+  params_.check();
+  const int k_max = rho(std::max<std::size_t>(2, num_vertices));
+  k_ = std::clamp(k <= 0 ? k_max : k, 2, std::max(2, k_max));
+  segments_ = make_segments(num_vertices, params_.epsilon, k_);
+  ladder_ = std::make_shared<ArbLinialLadder>(
+      std::max<std::uint64_t>(1, num_vertices), params_.threshold());
+  steps_ = ladder_->num_steps();
+
+  // Region layout: per segment, a partition region then a ladder region
+  // (ladder regions have max(1, S) rounds so degenerate tiny inputs
+  // still get a terminating color-assignment round).
+  const std::size_t lad = std::max<std::size_t>(1, steps_);
+  std::size_t start = 1;
+  for (const Segment& seg : segments_) {
+    region_start_.push_back(start);        // partition region
+    start += seg.partition_rounds;
+    region_start_.push_back(start);        // ladder region
+    start += lad;
+  }
+  region_start_.push_back(start);  // end sentinel
+}
+
+std::size_t ColoringKa2Algo::palette_bound() const {
+  const std::size_t per_segment = static_cast<std::size_t>(
+      steps_ > 0 ? ladder_->final_colors()
+                 : std::max<std::size_t>(1, num_vertices_));
+  return static_cast<std::size_t>(k_) * per_segment;
+}
+
+bool ColoringKa2Algo::step(Vertex v, std::size_t round,
+                           const RoundView<State>& view, State& next,
+                           Xoshiro256&) const {
+  const auto& self = view.self();
+  // Locate the region: 2 regions per segment.
+  std::size_t region = 0;
+  while (region + 1 < region_start_.size() &&
+         round >= region_start_[region + 1])
+    ++region;
+  VALOCAL_ENSURE(region + 1 < region_start_.size(),
+                 "coloring_ka2 schedule exhausted with active vertices");
+  const std::size_t seg_idx = region / 2;
+  const Segment& seg = segments_[seg_idx];
+  const std::size_t rel = round - region_start_[region];
+
+  if (region % 2 == 0) {
+    // Partition region of this segment.
+    if (self.hset == 0) {
+      const std::size_t partition_round = seg.first_hset + rel;
+      next.hset = partition_try_join(partition_round, view,
+                                     params_.threshold());
+    }
+    return false;
+  }
+
+  // Ladder region for segment seg_idx: participants are the vertices
+  // whose H-set falls in this segment's range.
+  const auto in_seg = [&](std::int32_t h) {
+    return h >= static_cast<std::int32_t>(seg.first_hset) &&
+           h <= static_cast<std::int32_t>(seg.last_hset);
+  };
+  if (!in_seg(self.hset)) return false;
+
+  const std::size_t last = std::max<std::size_t>(1, steps_) - 1;
+  std::uint64_t new_color = self.lad_color;
+  if (steps_ > 0) {
+    std::vector<std::uint64_t> parents;
+    parents.reserve(view.degree());
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (!in_seg(nbr.hset)) continue;
+      const Vertex u = view.neighbor(i);
+      if (nbr.hset > self.hset || (nbr.hset == self.hset && u > v))
+        parents.push_back(nbr.lad_color);
+    }
+    new_color = ladder_->apply_step(rel, self.lad_color, parents);
+  }
+  next.lad_color = new_color;
+  if (rel == last) {
+    const std::uint64_t per_segment =
+        steps_ > 0 ? ladder_->final_colors()
+                   : std::max<std::uint64_t>(1, num_vertices_);
+    next.final_color = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(seg_idx) * per_segment + new_color);
+    return true;
+  }
+  return false;
+}
+
+ColoringResult compute_coloring_ka2(const Graph& g,
+                                    PartitionParams params, int k) {
+  ColoringKa2Algo algo(g.num_vertices(), params, k);
+  auto run = run_local(g, algo);
+
+  ColoringResult result;
+  result.color = std::move(run.outputs);
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = algo.palette_bound();
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

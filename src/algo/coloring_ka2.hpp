@@ -1,0 +1,72 @@
+// O(k a^2)-vertex-coloring in O(log^(k) n) vertex-averaged complexity
+// (Section 7.6, Theorem 7.13) — the segmentation scheme of Section 7.5
+// instantiated with: algorithm A = null, algorithm B = the forest
+// orientation of Parallelized-Forest-Decomposition (a pure function of
+// the H-partition in this library), algorithm C = Procedure
+// Arb-Linial-Coloring (the full ladder).
+//
+// Schedule, in execution order over segments i = k .. 1:
+//   [c*log^(i) n Partition rounds forming segment i's H-sets]
+//   [S = O(log* n) ladder rounds coloring segment i with its own
+//    palette of O(a^2 log a) colors]
+// Segment-i vertices terminate at the end of their ladder; only a
+// O(n / log^(i-1) n) fraction survives into later segments, giving
+// vertex-averaged complexity O(log^(k) n + log* n).
+//
+// Corollaries 7.14/7.15: k = rho(n) yields O(a^2 log* n) colors with
+// O(log* n) vertex-averaged complexity (O(log* n) colors for constant
+// arboricity).
+#pragma once
+
+#include <memory>
+
+#include "algo/arb_linial.hpp"
+#include "algo/coloring_result.hpp"
+#include "algo/partition.hpp"
+#include "algo/segmentation.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class ColoringKa2Algo {
+ public:
+  struct State : PartitionState {
+    std::uint64_t lad_color = 0;
+    std::int64_t final_color = -1;
+  };
+  using Output = int;
+
+  /// k must lie in [2, rho(n)] (clamped internally).
+  ColoringKa2Algo(std::size_t num_vertices, PartitionParams params,
+                  int k);
+
+  void init(Vertex v, const Graph&, State& s) const { s.lad_color = v; }
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const {
+    return static_cast<Output>(s.final_color);
+  }
+
+  std::size_t palette_bound() const;
+  int k() const { return k_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  std::size_t ladder_steps() const { return steps_; }
+
+ private:
+  PartitionParams params_;
+  int k_;
+  std::vector<Segment> segments_;
+  std::vector<std::size_t> region_start_;  // start round of each region
+  std::shared_ptr<const ArbLinialLadder> ladder_;
+  std::size_t steps_ = 0;
+  std::size_t num_vertices_ = 0;
+};
+
+/// k <= 0 selects k = rho(n) (Corollary 7.14).
+ColoringResult compute_coloring_ka2(const Graph& g, PartitionParams params,
+                                    int k);
+
+}  // namespace valocal

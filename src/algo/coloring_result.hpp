@@ -1,0 +1,18 @@
+// Common result type for all vertex-coloring algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace valocal {
+
+struct ColoringResult {
+  std::vector<int> color;        // per vertex, >= 0
+  std::size_t num_colors = 0;    // distinct colors actually used
+  std::size_t palette_bound = 0; // size of the palette the algorithm drew from
+  Metrics metrics;
+};
+
+}  // namespace valocal

@@ -1,0 +1,45 @@
+// Arbdefective coloring as a public, stand-alone LOCAL algorithm (the
+// b-arbdefective c-coloring notion of Section 7.8 / [5]).
+//
+// A b-arbdefective k-coloring assigns one of k colors so that every
+// color class induces a subgraph of arboricity at most b. Construction
+// with a REAL guarantee (unlike naive bucketing of a proper coloring,
+// whose same-color neighbor count is unbounded):
+//
+//   1. compute a proper auxiliary (D+1)-coloring (DegPlusOnePlan);
+//   2. orient every edge towards the larger auxiliary color (acyclic);
+//   3. sweep auxiliary slots in DESCENDING order: at its slot, each
+//      vertex picks the bucket least used among its parents (all of
+//      which have already picked), so it gains at most floor(D/k)
+//      same-bucket parents.
+//
+// Every color class therefore carries an acyclic orientation with
+// out-degree <= floor(D/k): class arboricity (and even degeneracy) is
+// at most max(1, floor(D/k)). Rounds: O(D log D + log* n) for the plan
+// plus D+1 sweep slots; vertices terminate at their own slot, so the
+// sweep contributes to the vertex-averaged cost only its average slot.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/coloring_result.hpp"
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+struct ArbdefectiveColoringParams {
+  /// Number of colors (buckets) k >= 1.
+  std::size_t colors = 4;
+  /// Degree bound D; Delta(G) is used if 0.
+  std::size_t degree_bound = 0;
+};
+
+/// The promised per-class arboricity/degeneracy bound.
+std::size_t arbdefective_class_bound(std::size_t degree_bound,
+                                     std::size_t colors);
+
+/// Runs the construction above; result.color[v] in [0, colors).
+ColoringResult compute_arbdefective_coloring(
+    const Graph& g, ArbdefectiveColoringParams params);
+
+}  // namespace valocal

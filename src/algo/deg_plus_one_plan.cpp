@@ -1,0 +1,25 @@
+#include "algo/deg_plus_one_plan.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+DegPlusOnePlan::DegPlusOnePlan(std::uint64_t num_ids,
+                               std::size_t degree_bound)
+    : degree_bound_(std::max<std::size_t>(1, degree_bound)),
+      ladder_(std::max<std::uint64_t>(1, num_ids), degree_bound_),
+      kw_(ladder_.final_colors(), degree_bound_) {}
+
+std::uint64_t DegPlusOnePlan::advance(
+    std::size_t t, std::uint64_t own,
+    std::span<const std::uint64_t> neighbors) const {
+  VALOCAL_REQUIRE(t < num_rounds(), "plan round out of range");
+  VALOCAL_REQUIRE(neighbors.size() <= degree_bound_,
+                  "degree bound violated in DegPlusOnePlan");
+  if (t < ladder_.num_steps()) return ladder_.apply_step(t, own, neighbors);
+  return kw_.advance(t - ladder_.num_steps(), own, neighbors);
+}
+
+}  // namespace valocal

@@ -1,0 +1,78 @@
+// (Delta+1)-vertex-coloring with vertex-averaged complexity
+// O~(a + log* n) (Corollary 8.3; substitution S3 makes the a-term
+// O(a log a) instead of O(sqrt(a) log^2.5 a)).
+//
+// Extension framework instantiation: in iteration i, the vertices of
+// the fresh H-set H_i run a (deg+1)-list-coloring of G(H_i) where the
+// list of v is {0..Delta(G)} minus the final colors of v's
+// already-terminated neighbors — by induction |list| >= deg_active + 1.
+// The list coloring itself is the S3 plan: an auxiliary (A+1)-coloring
+// of G(H_i) (DegPlusOnePlan, O(a log a + log* n) rounds) followed by an
+// (A+1)-round sweep over auxiliary classes in which each class greedily
+// picks the smallest free list color. A vertex terminates at its own
+// sweep slot, so iterations cost O(a log a + log* n) each and
+// Corollary 6.4 gives the vertex-averaged bound.
+#pragma once
+
+#include <memory>
+
+#include "algo/coloring_result.hpp"
+#include "algo/deg_plus_one_plan.hpp"
+#include "algo/extension.hpp"
+#include "algo/partition.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class DeltaPlusOneAlgo {
+ public:
+  struct State : PartitionState {
+    std::uint64_t aux = 0;
+    std::int32_t color = -1;  // final color; -1 until decided
+  };
+  using Output = int;
+
+  DeltaPlusOneAlgo(std::size_t num_vertices, std::size_t max_degree,
+                   PartitionParams params);
+
+  /// Definition 8.1 in the flesh: vertices listed in `preset` (color
+  /// >= 0) enter with their colors fixed — they announce once and
+  /// terminate, and the rest of the execution extends the partial
+  /// solution without ever changing it. The preset must be a proper
+  /// partial coloring within the Delta+1 palette.
+  void set_partial_solution(std::vector<std::int32_t> preset) {
+    preset_ = std::move(preset);
+  }
+
+  void init(Vertex v, const Graph&, State& s) const {
+    s.aux = v;
+    if (v < preset_.size() && preset_[v] >= 0) s.color = preset_[v];
+  }
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.color; }
+
+  std::size_t palette_bound() const { return max_degree_ + 1; }
+  const CompositionSchedule& schedule() const { return schedule_; }
+
+ private:
+  PartitionParams params_;
+  std::size_t max_degree_;
+  std::shared_ptr<const DegPlusOnePlan> plan_;
+  CompositionSchedule schedule_;
+  std::vector<std::int32_t> preset_;
+};
+
+ColoringResult compute_delta_plus1(const Graph& g, PartitionParams params);
+
+/// Extends a proper partial (Delta+1)-coloring (entries >= 0 are fixed,
+/// -1 means uncolored) to the whole graph without modifying it —
+/// Definition 8.1's extension-from-any-partial-solution property,
+/// exercised end to end.
+ColoringResult extend_delta_plus1(const Graph& g, PartitionParams params,
+                                  std::vector<std::int32_t> partial);
+
+}  // namespace valocal

@@ -1,0 +1,209 @@
+#include "algo/edge_coloring.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+EdgeColoringAlgo::EdgeColoringAlgo(std::size_t num_vertices,
+                                   std::size_t num_edges,
+                                   PartitionParams params)
+    : params_(params),
+      plan_(std::make_shared<DegPlusOnePlan>(
+          std::max<std::uint64_t>(1, num_edges),
+          std::max<std::size_t>(1, 2 * params.threshold() - 2))),
+      schedule_(num_vertices, params.epsilon,
+                1 + plan_->num_rounds() + (2 * params.threshold() - 1) +
+                    2 * params.threshold()) {
+  params_.check();
+  VALOCAL_REQUIRE(params_.threshold() <= 120,
+                  "edge labels are stored as int8: threshold too large");
+}
+
+void EdgeColoringAlgo::init(Vertex v, const Graph& g, State& s) const {
+  const std::size_t deg = g.degree(v);
+  s.ecolor.assign(deg, -1);
+  s.lcolor.assign(deg, -1);
+  s.kind.assign(deg, 0);
+  s.out_label.assign(deg, -1);
+}
+
+bool EdgeColoringAlgo::step(Vertex, std::size_t round,
+                            const RoundView<State>& view, State& next,
+                            Xoshiro256&) const {
+  VALOCAL_ENSURE(round <= schedule_.total_rounds(),
+                 "edge_coloring schedule exhausted with active vertices");
+  const auto& self = view.self();
+  const std::size_t iter = schedule_.iteration(round);
+  const std::size_t pos = schedule_.position(round);
+  const std::size_t t_line = line_plan_rounds();
+  const auto my_iter = static_cast<std::int32_t>(iter);
+
+  if (pos == 0) {
+    if (self.hset == 0)
+      next.hset = partition_try_join(iter, view, params_.threshold());
+    return false;
+  }
+
+  // Stage geometry: [flag][line plan][resolution sweep][cross].
+  const std::size_t sweep_len = 2 * params_.threshold() - 1;
+  const std::size_t cross_begin = 2 + t_line + sweep_len;
+  const bool in_cross = pos >= cross_begin;
+  const std::size_t rel = in_cross ? pos - cross_begin : 0;
+  const std::size_t label = rel / 2;
+  const bool assign_phase = in_cross && rel % 2 == 0;
+  const bool ingest_phase = in_cross && rel % 2 == 1;
+
+  if (self.hset == 0) {
+    // Active vertex: acts as head in assign phases.
+    if (assign_phase) {
+      // Colors already used at this head (previous head assignments
+      // plus the ones made earlier this round).
+      std::vector<std::int32_t> head_used;
+      for (auto c : self.ecolor)
+        if (c >= 0) head_used.push_back(c);
+      for (std::size_t i = 0; i < view.degree(); ++i) {
+        const auto& nbr = view.neighbor_state(i);
+        if (nbr.hset != my_iter) continue;
+        const std::size_t port = view.neighbor_port(i);
+        if (nbr.kind[port] != 2 ||
+            nbr.out_label[port] != static_cast<std::int8_t>(label))
+          continue;
+        // Smallest color free at both endpoints: at most
+        // (deg(u)-1) + (deg(w)-1) colors are forbidden, so the pick
+        // stays below 2*Delta - 1.
+        std::vector<char> forbidden(
+            head_used.size() + nbr.ecolor.size() + 2, 0);
+        auto mark = [&](std::int32_t c) {
+          if (c >= 0 && static_cast<std::size_t>(c) < forbidden.size())
+            forbidden[c] = 1;
+        };
+        for (auto c : head_used) mark(c);
+        for (auto c : nbr.ecolor) mark(c);
+        std::size_t pick = 0;
+        while (forbidden[pick]) ++pick;
+        next.ecolor[i] = static_cast<std::int32_t>(pick);
+        head_used.push_back(static_cast<std::int32_t>(pick));
+      }
+    }
+    return false;
+  }
+
+  if (self.hset != my_iter) return false;  // already-terminated track
+  // (terminated vertices never reach step; this guards waiting sets)
+
+  if (pos == 1) {
+    // Flag round: classify ports and label the out edges.
+    std::int8_t next_label = 0;
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (nbr.hset == my_iter) {
+        next.kind[i] = 1;  // intra-set
+        next.lcolor[i] =
+            static_cast<std::int64_t>(view.incident_edges()[i]);
+      } else if (nbr.hset == 0) {
+        next.kind[i] = 2;  // outgoing towards a later joiner
+        next.out_label[i] = next_label++;
+      } else {
+        next.kind[i] = 3;  // colored in an earlier iteration
+      }
+    }
+    VALOCAL_ENSURE(next_label <=
+                       static_cast<std::int8_t>(params_.threshold()),
+                   "more out-edges than the H-partition permits");
+    return false;
+  }
+
+  if (pos < 2 + t_line) {
+    // Line-graph plan round t = pos - 2 on the intra-set edges.
+    const std::size_t t = pos - 2;
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      if (self.kind[i] != 1) continue;
+      const auto& w = view.neighbor_state(i);
+      const std::size_t port = view.neighbor_port(i);
+      std::vector<std::uint64_t> line_nbrs;
+      for (std::size_t j = 0; j < view.degree(); ++j)
+        if (j != i && self.kind[j] == 1)
+          line_nbrs.push_back(
+              static_cast<std::uint64_t>(self.lcolor[j]));
+      for (std::size_t j = 0; j < w.kind.size(); ++j)
+        if (j != port && w.kind[j] == 1)
+          line_nbrs.push_back(static_cast<std::uint64_t>(w.lcolor[j]));
+      next.lcolor[i] = static_cast<std::int64_t>(plan_->advance(
+          t, static_cast<std::uint64_t>(self.lcolor[i]), line_nbrs));
+    }
+    return false;
+  }
+
+  if (pos < cross_begin) {
+    // Resolution sweep slot c: the unique intra edge with line-plan
+    // color c at this vertex takes its FINAL color — the smallest one
+    // free at both endpoints (so intra colors also dodge the cross
+    // colors this vertex received as a head in earlier iterations).
+    // Slot-c edges form a matching, and both endpoints compute the
+    // identical pick from published state.
+    const std::size_t c = pos - 2 - t_line;
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      if (self.kind[i] != 1 ||
+          self.lcolor[i] != static_cast<std::int64_t>(c))
+        continue;
+      const auto& w = view.neighbor_state(i);
+      std::vector<char> forbidden(
+          self.ecolor.size() + w.ecolor.size() + 2, 0);
+      auto mark = [&](std::int32_t col) {
+        if (col >= 0 && static_cast<std::size_t>(col) < forbidden.size())
+          forbidden[col] = 1;
+      };
+      for (auto col : self.ecolor) mark(col);
+      for (auto col : w.ecolor) mark(col);
+      std::size_t pick = 0;
+      while (forbidden[pick]) ++pick;
+      next.ecolor[i] = static_cast<std::int32_t>(pick);
+    }
+    return false;
+  }
+
+  // Cross stage, tail side: ingest the head's assignment for label j.
+  if (ingest_phase) {
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      if (self.kind[i] != 2 ||
+          self.out_label[i] != static_cast<std::int8_t>(label))
+        continue;
+      const auto& w = view.neighbor_state(i);
+      const std::size_t port = view.neighbor_port(i);
+      VALOCAL_ENSURE(w.ecolor[port] >= 0,
+                     "head failed to assign a cross edge");
+      next.ecolor[i] = w.ecolor[port];
+    }
+  }
+  // Terminate at the end of the block.
+  return pos == schedule_.sub_rounds;
+}
+
+EdgeColoringResult compute_edge_coloring(const Graph& g,
+                                         PartitionParams params) {
+  EdgeColoringAlgo algo(g.num_vertices(), g.num_edges(), params);
+  auto run = run_local(g, algo);
+
+  EdgeColoringResult result;
+  result.color.assign(g.num_edges(), -1);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto& ports = run.outputs[v];
+    const auto edges = g.incident_edges(v);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (ports[i] < 0) continue;
+      if (result.color[edges[i]] >= 0)
+        VALOCAL_ENSURE(result.color[edges[i]] == ports[i],
+                       "endpoints disagree on an edge color");
+      result.color[edges[i]] = ports[i];
+    }
+  }
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = algo.palette_bound(g.max_degree());
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

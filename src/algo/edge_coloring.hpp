@@ -1,0 +1,83 @@
+// (2Delta-1)-edge-coloring with vertex-averaged complexity
+// O~(a + log* n) (Corollaries 8.6 / 8.7).
+//
+// Extension framework instantiation. Iteration i, for the fresh H-set
+// H_i:
+//   flag round   — H_i vertices classify incident edges (intra-set /
+//                  outgoing-to-active / already-colored) and label
+//                  their <= A outgoing edges with distinct labels;
+//   line plan    — the intra-set edges are colored by running the
+//                  (D+1)-plan on the LINE GRAPH of G(H_i) (max line
+//                  degree 2A-2 => 2A-1 colors, inside the global
+//                  {0..2Delta-2} palette). Both endpoints deterministically
+//                  compute each edge's update from published per-port
+//                  state, the standard LOCAL line-graph simulation;
+//   cross stage  — 2A sub-rounds, two per label j: first every ACTIVE
+//                  head w assigns greedily distinct free colors to its
+//                  incoming label-j edges from H_i (free w.r.t. both
+//                  endpoints' published used sets; at most 2Delta-2
+//                  forbidden, so {0..2Delta-2} suffices), then the H_i
+//                  tails ingest the assignment. Handling cross edges at
+//                  the TAIL's iteration with a live head is what makes
+//                  the coloring correct under the paper's
+//                  terminate-and-freeze semantics (see extension.hpp).
+// H_i vertices terminate at the end of their iteration block, so every
+// iteration costs O(a log a + log* n) rounds and Corollary 6.4 applies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/deg_plus_one_plan.hpp"
+#include "algo/extension.hpp"
+#include "algo/partition.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class EdgeColoringAlgo {
+ public:
+  struct State : PartitionState {
+    std::vector<std::int32_t> ecolor;    // per incident port; -1 unknown
+    std::vector<std::int64_t> lcolor;    // line-plan transient color
+    std::vector<std::int8_t> kind;       // 0 ?, 1 intra, 2 out, 3 settled
+    std::vector<std::int8_t> out_label;  // label of out edges, -1 else
+  };
+  using Output = std::vector<std::int32_t>;  // final per-port colors
+
+  EdgeColoringAlgo(std::size_t num_vertices, std::size_t num_edges,
+                   PartitionParams params);
+
+  void init(Vertex v, const Graph& g, State& s) const;
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.ecolor; }
+
+  std::size_t palette_bound(std::size_t max_degree) const {
+    return std::max<std::size_t>(1, 2 * max_degree - 1);
+  }
+  const CompositionSchedule& schedule() const { return schedule_; }
+
+ private:
+  std::size_t line_plan_rounds() const { return plan_->num_rounds(); }
+
+  PartitionParams params_;
+  std::shared_ptr<const DegPlusOnePlan> plan_;  // on the line graph
+  CompositionSchedule schedule_;
+};
+
+struct EdgeColoringResult {
+  std::vector<int> color;  // per edge
+  std::size_t num_colors = 0;
+  std::size_t palette_bound = 0;
+  Metrics metrics;
+};
+
+EdgeColoringResult compute_edge_coloring(const Graph& g,
+                                         PartitionParams params);
+
+}  // namespace valocal

@@ -1,0 +1,68 @@
+// Procedure General-Partition ([8]; referenced in Section 6.1): the
+// standard reduction from UNKNOWN arboricity to the known-arboricity
+// Procedure Partition.
+//
+// The execution is split into phases of L = partition_round_bound(n)
+// rounds. Phase k runs Procedure Partition with the doubled estimate
+// a_k = 2^k: still-active vertices conclude at each phase boundary that
+// the estimate was too low and silently adopt the next threshold (the
+// phase schedule is a pure function of n, so no coordination is
+// needed). Once 2^k >= a(G), that phase's threshold (2+eps)*2^k retires
+// everyone within its L rounds, so the worst case is
+// O(log n * log a(G)) and the resulting H-partition satisfies the
+// degree bound of the FINAL phase, at most (2+eps)*2*a(G).
+//
+// Vertex-averaged complexity stays O(1): phases only slow the decay by
+// a constant factor until the correct estimate is reached, and the
+// population still shrinks geometrically within the final phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/partition.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class GeneralPartitionAlgo {
+ public:
+  struct State : PartitionState {};
+  using Output = std::int32_t;
+
+  GeneralPartitionAlgo(std::size_t num_vertices, double epsilon);
+
+  void init(Vertex, const Graph&, State&) const {}
+
+  bool step(Vertex, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.hset; }
+
+  std::size_t phase_length() const { return phase_len_; }
+  /// Threshold used in phase k (0-based): (2+eps) * 2^k, floored at
+  /// 2*2^k + 1.
+  std::size_t threshold_for_phase(std::size_t k) const;
+
+ private:
+  double epsilon_;
+  std::size_t phase_len_;
+};
+
+struct GeneralPartitionResult {
+  std::vector<std::int32_t> hset;
+  std::size_t num_sets = 0;
+  /// The degree bound the produced partition satisfies (the threshold
+  /// of the last phase that retired anyone).
+  std::size_t effective_threshold = 0;
+  /// The arboricity estimate 2^k of that phase.
+  std::size_t arboricity_estimate = 1;
+  Metrics metrics;
+};
+
+GeneralPartitionResult compute_general_partition(const Graph& g,
+                                                 double epsilon = 1.0);
+
+}  // namespace valocal

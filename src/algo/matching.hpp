@@ -1,0 +1,75 @@
+// Maximal Matching with vertex-averaged complexity O~(a + log* n)
+// (Corollaries 8.8 / 8.9).
+//
+// Extension framework instantiation. Iteration i, for the fresh H-set
+// H_i:
+//   flag round    — classify/label edges as in edge_coloring.hpp;
+//   line plan     — (2A-1)-edge-color the intra-set edges (each color
+//                   class is a matching);
+//   intra sweep   — 2A-1 rounds: in slot c every still-unmatched
+//                   intra-set edge of color c whose endpoints were both
+//                   unmatched joins the matching (color classes are
+//                   vertex-disjoint, so no races);
+//   cross stage   — 2A sub-rounds, two per label j: every ACTIVE
+//                   unmatched head w accepts the smallest-ID unmatched
+//                   H_i tail whose label-j edge points at w; the tails
+//                   then ingest the acceptance. Every out-neighbor of a
+//                   tail is therefore matched or has rejected it only
+//                   because it was already matched, which is what makes
+//                   the final matching maximal under terminate-and-
+//                   freeze semantics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/deg_plus_one_plan.hpp"
+#include "algo/extension.hpp"
+#include "algo/partition.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class MatchingAlgo {
+ public:
+  struct State : PartitionState {
+    std::vector<std::int64_t> lcolor;    // line-plan transient color
+    std::vector<std::int8_t> kind;       // 0 ?, 1 intra, 2 out, 3 settled
+    std::vector<std::int8_t> out_label;  // label of out edges, -1 else
+    bool matched = false;
+    std::int64_t matched_edge = -1;      // global edge id, -1 if none
+    std::int32_t accepted_port = -1;     // head-side acceptance this stage
+  };
+  using Output = std::int64_t;  // matched edge id or -1
+
+  MatchingAlgo(std::size_t num_vertices, std::size_t num_edges,
+               PartitionParams params);
+
+  void init(Vertex v, const Graph& g, State& s) const;
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.matched_edge; }
+
+  const CompositionSchedule& schedule() const { return schedule_; }
+  std::size_t line_palette() const {
+    return std::max<std::size_t>(1, 2 * params_.threshold() - 1);
+  }
+
+ private:
+  PartitionParams params_;
+  std::shared_ptr<const DegPlusOnePlan> plan_;  // on the line graph
+  CompositionSchedule schedule_;
+};
+
+struct MatchingResult {
+  std::vector<bool> in_matching;  // per edge
+  Metrics metrics;
+};
+
+MatchingResult compute_matching(const Graph& g, PartitionParams params);
+
+}  // namespace valocal

@@ -1,0 +1,78 @@
+#include "algo/mis.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+MisAlgo::MisAlgo(std::size_t num_vertices, PartitionParams params)
+    : params_(params),
+      plan_(std::make_shared<DegPlusOnePlan>(
+          std::max<std::uint64_t>(1, num_vertices), params.threshold())),
+      schedule_(num_vertices, params.epsilon,
+                plan_->num_rounds() + params.threshold() + 1) {
+  params_.check();
+}
+
+bool MisAlgo::step(Vertex, std::size_t round,
+                   const RoundView<State>& view, State& next,
+                   Xoshiro256&) const {
+  VALOCAL_ENSURE(round <= schedule_.total_rounds(),
+                 "mis schedule exhausted with active vertices");
+  const auto& self = view.self();
+
+  // Early exit: an MIS neighbor dominates this vertex forever. A vertex
+  // exiting before joining an H-set marks hset = -1 so neighbors stop
+  // counting it as partition-active.
+  for (std::size_t i = 0; i < view.degree(); ++i)
+    if (view.neighbor_state(i).status == 1) {
+      next.status = -1;
+      if (self.hset == 0) next.hset = -1;
+      return true;
+    }
+
+  const std::size_t iter = schedule_.iteration(round);
+  const std::size_t pos = schedule_.position(round);
+
+  if (pos == 0) {
+    if (self.hset == 0)
+      next.hset = partition_try_join(iter, view, params_.threshold());
+    return false;
+  }
+  if (self.hset != static_cast<std::int32_t>(iter)) return false;
+
+  const std::size_t plan_rounds = plan_->num_rounds();
+  if (pos <= plan_rounds) {
+    std::vector<std::uint64_t> nbrs;
+    nbrs.reserve(view.degree());
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
+    }
+    next.aux = plan_->advance(pos - 1, self.aux, nbrs);
+    return false;
+  }
+
+  const std::size_t slot = pos - plan_rounds - 1;
+  if (self.aux != slot) return false;
+  // No MIS neighbor observed (checked above): join.
+  next.status = 1;
+  return true;
+}
+
+MisResult compute_mis(const Graph& g, PartitionParams params) {
+  MisAlgo algo(g.num_vertices(), params);
+  auto run = run_local(g, algo);
+
+  MisResult result;
+  result.in_set.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    VALOCAL_ENSURE(run.outputs[v] != 0, "MIS left a vertex undecided");
+    result.in_set[v] = run.outputs[v] == 1;
+  }
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,56 @@
+// Maximal Independent Set with vertex-averaged complexity
+// O~(a + log* n) (Corollaries 8.4 / 8.5).
+//
+// Extension framework instantiation: iteration i computes an auxiliary
+// (A+1)-coloring of the fresh H-set G(H_i) and then sweeps the
+// auxiliary classes (the classical coloring -> MIS reduction): a vertex
+// at its sweep slot joins the MIS unless some neighbor already did.
+// Bonus early exit: any vertex that observes an MIS neighbor is
+// dominated forever and terminates immediately as a non-member.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/deg_plus_one_plan.hpp"
+#include "algo/extension.hpp"
+#include "algo/partition.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class MisAlgo {
+ public:
+  struct State : PartitionState {
+    std::uint64_t aux = 0;
+    std::int8_t status = 0;  // 0 undecided, 1 in MIS, -1 dominated
+  };
+  using Output = std::int8_t;
+
+  MisAlgo(std::size_t num_vertices, PartitionParams params);
+
+  void init(Vertex v, const Graph&, State& s) const { s.aux = v; }
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.status; }
+
+  const CompositionSchedule& schedule() const { return schedule_; }
+
+ private:
+  PartitionParams params_;
+  std::shared_ptr<const DegPlusOnePlan> plan_;
+  CompositionSchedule schedule_;
+};
+
+struct MisResult {
+  std::vector<bool> in_set;
+  Metrics metrics;
+};
+
+MisResult compute_mis(const Graph& g, PartitionParams params);
+
+}  // namespace valocal

@@ -1,0 +1,22 @@
+#include "algo/partition.hpp"
+
+#include <algorithm>
+
+namespace valocal {
+
+HPartitionResult compute_h_partition(const Graph& g,
+                                     PartitionParams params) {
+  PartitionAlgo algo(params);
+  auto run = run_local(g, algo);
+
+  HPartitionResult result;
+  result.hset = std::move(run.outputs);
+  result.threshold = params.threshold();
+  for (auto h : result.hset)
+    result.num_sets =
+        std::max(result.num_sets, static_cast<std::size_t>(h));
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

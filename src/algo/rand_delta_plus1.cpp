@@ -1,0 +1,62 @@
+#include "algo/rand_delta_plus1.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+bool RandDeltaPlusOneAlgo::step(Vertex, std::size_t round,
+                                const RoundView<State>& view, State& next,
+                                Xoshiro256& rng) const {
+  const auto& self = view.self();
+
+  if (round % 2 == 1) {
+    // Draw phase: coin flip, then a uniform color from the palette
+    // minus the neighbors' final colors.
+    next.proposal = -1;
+    if (!rng.coin()) return false;
+    std::vector<char> taken(max_degree_ + 1, 0);
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (nbr.final_color >= 0) taken[nbr.final_color] = 1;
+    }
+    std::vector<std::int32_t> avail;
+    avail.reserve(max_degree_ + 1);
+    for (std::size_t c = 0; c <= max_degree_; ++c)
+      if (!taken[c]) avail.push_back(static_cast<std::int32_t>(c));
+    VALOCAL_ENSURE(!avail.empty(), "palette exhausted: degree bound broken");
+    next.proposal = avail[rng.below(avail.size())];
+    return false;
+  }
+
+  // Resolve phase.
+  if (self.proposal < 0) return false;
+  for (std::size_t i = 0; i < view.degree(); ++i) {
+    const auto& nbr = view.neighbor_state(i);
+    if (nbr.proposal == self.proposal || nbr.final_color == self.proposal) {
+      next.proposal = -1;
+      return false;
+    }
+  }
+  next.final_color = self.proposal;
+  next.proposal = -1;
+  return true;
+}
+
+ColoringResult compute_rand_delta_plus1(const Graph& g,
+                                        std::uint64_t seed) {
+  RandDeltaPlusOneAlgo algo(g.max_degree());
+  auto run = run_local(g, algo, {.seed = seed});
+
+  ColoringResult result;
+  result.color = std::move(run.outputs);
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = algo.palette_bound();
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,169 @@
+#include "algo/rings.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assertx.hpp"
+#include "util/mathx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+void LeaderElectionAlgo::init(Vertex, const Graph& g, State&) const {
+  VALOCAL_REQUIRE(g.num_vertices() >= 3, "leader election needs a ring");
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    VALOCAL_REQUIRE(g.degree(v) == 2, "leader election needs a ring");
+}
+
+StepResult LeaderElectionAlgo::step(Vertex v, std::size_t,
+                                    const RoundView<State>& view,
+                                    State& next, Xoshiro256&) const {
+  const auto& self = view.self();
+
+  // Done wave: once the leader announced, everyone relays the flag once
+  // and terminates (these rounds are not charged: outputs committed
+  // earlier). Terminated states stay visible, so the wave crosses them.
+  if (view.neighbor_state(0).done || view.neighbor_state(1).done) {
+    next.done = true;
+    if (next.output == 0) next.output = -1;  // degenerate safety
+    return StepResult::kTerminate;
+  }
+
+  // Refresh the nearest-candidate pointers from scratch: port d looks
+  // at neighbor u; the chain continues on u's OTHER port (reciprocal
+  // port bookkeeping), one hop of knowledge per round.
+  for (std::size_t d = 0; d < 2; ++d) {
+    const auto& u = view.neighbor_state(d);
+    if (u.candidate) {
+      next.near_id[d] = view.neighbor(d);
+      next.near_dist[d] = 1;
+    } else {
+      const std::size_t q = 1 - view.neighbor_port(d);
+      next.near_id[d] = u.near_id[q];
+      next.near_dist[d] = u.near_dist[q] + 1;
+    }
+  }
+
+  if (!self.candidate) return StepResult::kContinue;  // relay only
+
+  // Leader detection: the chain wrapped all the way around to us.
+  if (next.near_id[0] == v || next.near_id[1] == v) {
+    next.output = 1;
+    next.done = true;
+    return StepResult::kTerminate;
+  }
+  // Resignation: a smaller (live-at-the-time) candidate exists.
+  for (std::size_t d = 0; d < 2; ++d) {
+    if (next.near_id[d] != kInvalidVertex && next.near_id[d] < v) {
+      next.candidate = false;
+      next.output = -1;
+      return StepResult::kCommit;  // r(v) freezes; keeps relaying
+    }
+  }
+  return StepResult::kContinue;
+}
+
+LeaderElectionResult compute_ring_leader_election(const Graph& ring) {
+  LeaderElectionAlgo algo;
+  auto run = run_local(ring, algo);
+
+  LeaderElectionResult result;
+  std::size_t leaders = 0;
+  for (Vertex v = 0; v < ring.num_vertices(); ++v) {
+    if (run.outputs[v] == 1) {
+      result.leader = v;
+      ++leaders;
+    }
+  }
+  VALOCAL_ENSURE(leaders == 1, "leader election must elect exactly one");
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+namespace {
+
+/// Cole-Vishkin palette schedule: n -> 2*ceil(log2 p) until fixpoint.
+std::vector<std::uint64_t> cv_schedule(std::uint64_t n) {
+  std::vector<std::uint64_t> seq{std::max<std::uint64_t>(2, n)};
+  while (true) {
+    const std::uint64_t next =
+        2 * static_cast<std::uint64_t>(log2_ceil(seq.back()));
+    if (next >= seq.back()) break;
+    seq.push_back(next);
+  }
+  return seq;
+}
+
+}  // namespace
+
+RingColoring3Algo::RingColoring3Algo(std::size_t num_vertices)
+    : cv_rounds_(cv_schedule(num_vertices).size() - 1) {}
+
+bool RingColoring3Algo::step(Vertex v, std::size_t round,
+                             const RoundView<State>& view, State& next,
+                             Xoshiro256&) const {
+  const auto& self = view.self();
+
+  // Oriented-ring convention (as in [12] / Cole-Vishkin): the successor
+  // of v is the neighbor with id (v+1) mod n. On the canonical ring one
+  // neighbor is v+1, except at the wrap vertex n-1 whose successor is
+  // its smaller neighbor 0.
+  const Vertex n0 = view.neighbor(0), n1 = view.neighbor(1);
+  const Vertex succ = (n0 == v + 1 || n1 == v + 1)
+                          ? (n0 == v + 1 ? n0 : n1)
+                          : std::min(n0, n1);
+
+  if (round <= cv_rounds_) {
+    const std::uint64_t mine = self.color;
+    const std::uint64_t theirs = view.state_of(succ).color;
+    VALOCAL_ENSURE(mine != theirs, "oriented ring coloring broke");
+    const unsigned k = static_cast<unsigned>(
+        std::countr_zero(mine ^ theirs));
+    next.color = 2 * k + ((mine >> k) & 1);
+    return false;
+  }
+  // Shift-free reduction 6 -> 3: rounds cv+1, cv+2, cv+3 retire colors
+  // 5, 4, 3. Same-colored vertices are never adjacent, so the greedy
+  // pick is race-free.
+  const std::size_t slot = round - cv_rounds_;  // 1..3
+  const std::uint64_t retire = 6 - slot;        // 5, 4, 3
+  if (self.color == retire) {
+    const std::uint64_t c0 = view.neighbor_state(0).color;
+    const std::uint64_t c1 = view.neighbor_state(1).color;
+    std::uint64_t pick = 0;
+    while (pick == c0 || pick == c1) ++pick;
+    VALOCAL_ENSURE(pick <= 2, "3-coloring pick escaped the palette");
+    next.color = pick;
+  }
+  if (slot == 3) {
+    next.final_color = static_cast<std::int32_t>(next.color);
+    return true;
+  }
+  return false;
+}
+
+ColoringResult compute_ring_3coloring(const Graph& ring) {
+  VALOCAL_REQUIRE(ring.num_vertices() >= 3, "need a ring");
+  const auto n = static_cast<Vertex>(ring.num_vertices());
+  for (Vertex v = 0; v < n; ++v) {
+    VALOCAL_REQUIRE(ring.degree(v) == 2, "need a ring");
+    // Cole-Vishkin consumes an ORIENTED ring; this implementation
+    // derives the orientation from the canonical id layout (successor
+    // = v+1 mod n), so arbitrary relabelings are rejected up front
+    // rather than silently miscoloring.
+    VALOCAL_REQUIRE(ring.has_edge(v, (v + 1) % n),
+                    "ring 3-coloring needs the canonically oriented "
+                    "ring (ids consecutive around the cycle)");
+  }
+  RingColoring3Algo algo(ring.num_vertices());
+  auto run = run_local(ring, algo);
+
+  ColoringResult result;
+  result.color = std::move(run.outputs);
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = 3;
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,95 @@
+// The ring results of Feuilloley [12] that frame the paper (Sections
+// 2-3): the paper's question is whether the vertex-averaged measure can
+// beat the worst case for symmetry breaking in GENERAL graphs, given
+// that on rings [12] proved
+//
+//   * leader election:  vertex-averaged O(log n)  vs  worst case
+//     Theta(n) — an exponential gap (positive result); and
+//   * 3-coloring:       vertex-averaged = worst case = Theta(log* n)
+//     (negative result; also the Omega(log* n) lower bound quoted in
+//     Section 10).
+//
+// Both are implemented here on the LOCAL engine:
+//
+// LeaderElectionAlgo — candidates maintain self-stabilizing
+// nearest-candidate pointers in both ring directions (one hop of
+// propagation per round, O(1) state via reciprocal ports); a candidate
+// resigns — COMMITTING its "non-leader" output under [12]'s
+// output-commit semantics while continuing to relay — as soon as it
+// learns of a smaller live candidate; the unique survivor detects that
+// its pointer chain wrapped around to itself and becomes leader. A
+// final "done" wave lets everyone terminate (those rounds are not
+// charged: r(v) froze at commit time).
+//
+// RingColoring3Algo — Cole-Vishkin iterated bit reduction towards the
+// successor (the larger-ID-neighbor orientation convention), down to 6
+// colors in O(log* n) rounds, then three shift-free rounds 6 -> 3. All
+// vertices terminate together: the vertex-averaged complexity EQUALS
+// the worst case, the paper's motivating negative example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/coloring_result.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace valocal {
+
+class LeaderElectionAlgo {
+ public:
+  struct State {
+    bool candidate = true;
+    bool done = false;  // leader-found wave
+    std::int8_t output = 0;  // 1 leader, -1 non-leader, 0 undecided
+    // Per own port d: nearest candidate in that direction (excluding
+    // self), as currently known; refreshed from scratch every round.
+    Vertex near_id[2] = {kInvalidVertex, kInvalidVertex};
+    std::uint32_t near_dist[2] = {0, 0};
+  };
+  using Output = std::int8_t;
+
+  void init(Vertex, const Graph& g, State&) const;
+
+  StepResult step(Vertex v, std::size_t round,
+                  const RoundView<State>& view, State& next,
+                  Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.output; }
+};
+
+struct LeaderElectionResult {
+  Vertex leader = kInvalidVertex;
+  Metrics metrics;  // r(v) = commit round ([12]'s measure)
+};
+
+LeaderElectionResult compute_ring_leader_election(const Graph& ring);
+
+class RingColoring3Algo {
+ public:
+  struct State {
+    std::uint64_t color = 0;
+    std::int32_t final_color = -1;
+  };
+  using Output = int;
+
+  explicit RingColoring3Algo(std::size_t num_vertices);
+
+  void init(Vertex v, const Graph&, State& s) const { s.color = v; }
+
+  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const;
+
+  Output output(Vertex, const State& s) const { return s.final_color; }
+
+  std::size_t cv_rounds() const { return cv_rounds_; }
+
+ private:
+  std::size_t cv_rounds_ = 0;  // bit-reduction rounds to reach <= 6
+};
+
+ColoringResult compute_ring_3coloring(const Graph& ring);
+
+}  // namespace valocal

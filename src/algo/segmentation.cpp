@@ -1,0 +1,53 @@
+#include "algo/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.hpp"
+#include "util/mathx.hpp"
+
+namespace valocal {
+
+std::size_t partition_round_bound(std::size_t n, double eps) {
+  if (n < 2) return 1;
+  const double decay = std::log2((2.0 + eps) / 2.0);
+  return static_cast<std::size_t>(
+             std::ceil(std::log2(static_cast<double>(n)) / decay)) +
+         2;
+}
+
+std::vector<Segment> make_segments(std::size_t n, double eps, int k) {
+  VALOCAL_REQUIRE(k >= 2, "segmentation needs k >= 2");
+  VALOCAL_REQUIRE(n >= 1, "segmentation needs n >= 1");
+  const double c = 2.0 / eps;
+  const std::size_t total = partition_round_bound(n, eps);
+
+  std::vector<Segment> segments;
+  std::size_t next_hset = 1;
+  for (int i = k; i >= 1; --i) {
+    std::size_t rounds = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               c * static_cast<double>(ilog(i, std::max<std::size_t>(
+                                                   2, n))))));
+    if (i == 1) {
+      // The last segment absorbs whatever is left of the budget, so the
+      // cumulative rounds always cover the full partition.
+      rounds = total > next_hset - 1 ? total - (next_hset - 1) : 1;
+    }
+    segments.push_back(Segment{i, next_hset, next_hset + rounds - 1,
+                               rounds});
+    next_hset += rounds;
+  }
+  return segments;
+}
+
+std::size_t segment_of_hset(const std::vector<Segment>& segments,
+                            std::size_t h) {
+  for (std::size_t s = 0; s < segments.size(); ++s)
+    if (h >= segments[s].first_hset && h <= segments[s].last_hset)
+      return s;
+  VALOCAL_ENSURE(false, "H-set outside every segment");
+  return 0;
+}
+
+}  // namespace valocal

@@ -1,0 +1,45 @@
+// The segmentation scheme of Section 7.5.
+//
+// The vertex set is peeled into k segments, built in paper order
+// i = k, k-1, ..., 1. Segment i consists of the H-sets produced by
+// c * log^(i) n consecutive rounds of Procedure Partition (c = 2 /
+// epsilon; log^(i) is the iterated logarithm), so the population still
+// active when segment i finishes is O(n / log^(i-1) n). Each segment is
+// then finished off by a segment-local coloring stage (algorithm C of
+// the scheme) drawing from its own disjoint palette. The parameter k
+// ranges over {2, ..., rho(n)} (Section 7.5's rho: the largest k with
+// log^(k-1) n >= log* n).
+//
+// This header provides the shared segment geometry; the two
+// instantiations of the scheme are algo/coloring_ka2.hpp (Section 7.6)
+// and algo/coloring_ka.hpp (Section 7.7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace valocal {
+
+struct Segment {
+  int paper_index;             // i in the paper: k for the first segment
+  std::size_t first_hset;      // global H-set indices covered (1-based,
+  std::size_t last_hset;       //   inclusive)
+  std::size_t partition_rounds;  // r_i = last_hset - first_hset + 1
+};
+
+/// Upper bound on the total Procedure-Partition rounds needed on an
+/// n-vertex graph: log_{(2+eps)/2} n + 2.
+std::size_t partition_round_bound(std::size_t n, double eps);
+
+/// The segment geometry for a given k in [2, rho(n)]: segments in
+/// execution order (paper index k first). Segment i gets
+/// ceil((2/eps) * log^(i) n) partition rounds; the final segment
+/// (paper index 1) is extended so the cumulative rounds reach
+/// partition_round_bound(n, eps).
+std::vector<Segment> make_segments(std::size_t n, double eps, int k);
+
+/// Which segment (index into the make_segments vector) owns H-set h.
+std::size_t segment_of_hset(const std::vector<Segment>& segments,
+                            std::size_t h);
+
+}  // namespace valocal

@@ -1,0 +1,106 @@
+#include "baseline/be08_arb_color.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/segmentation.hpp"
+#include "util/assertx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+
+Be08ArbColorAlgo::Be08ArbColorAlgo(std::size_t num_vertices,
+                                   PartitionParams params)
+    : params_(params) {
+  params_.check();
+  ell_ = partition_round_bound(num_vertices, params_.epsilon);
+  ladder_ = std::make_shared<ArbLinialLadder>(
+      std::max<std::uint64_t>(1, num_vertices), params_.threshold());
+  ladder_steps_ = ladder_->num_steps();
+  const std::uint64_t aux_palette =
+      ladder_steps_ > 0 ? ladder_->final_colors()
+                        : std::max<std::uint64_t>(1, num_vertices);
+  kw_ = std::make_shared<KwReduction>(aux_palette, params_.threshold());
+  kw_rounds_ = kw_->num_rounds();
+  end_ = ell_ + ladder_steps_ + kw_rounds_ +
+         ell_ * (params_.threshold() + 1) + 2;
+}
+
+bool Be08ArbColorAlgo::step(Vertex v, std::size_t round,
+                            const RoundView<State>& view, State& next,
+                            Xoshiro256&) const {
+  const auto& self = view.self();
+  const std::size_t a_bound = params_.threshold();
+
+  if (round <= ell_) {
+    if (self.hset == 0)
+      next.hset = partition_try_join(round, view, a_bound);
+  } else if (round <= ell_ + ladder_steps_) {
+    // Global ladder over the (hset, ID) orientation.
+    const std::size_t t = round - ell_ - 1;
+    std::vector<std::uint64_t> parents;
+    parents.reserve(view.degree());
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      const Vertex u = view.neighbor(i);
+      if (nbr.hset > self.hset || (nbr.hset == self.hset && u > v))
+        parents.push_back(nbr.aux);
+    }
+    next.aux = ladder_->apply_step(t, self.aux, parents);
+  } else if (round <= ell_ + ladder_steps_ + kw_rounds_) {
+    // KW within the own H-set only.
+    const std::size_t t = round - ell_ - ladder_steps_ - 1;
+    std::vector<std::uint64_t> nbrs;
+    nbrs.reserve(view.degree());
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
+    }
+    next.aux = kw_->advance(t, self.aux, nbrs);
+  } else if (self.pick < 0) {
+    // Recoloring stage.
+    std::vector<char> taken(a_bound + 1, 0);
+    bool ready = true;
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      const bool parent = nbr.hset > self.hset ||
+                          (nbr.hset == self.hset && nbr.aux > self.aux);
+      if (!parent) continue;
+      if (nbr.pick < 0) {
+        ready = false;
+        break;
+      }
+      taken[nbr.pick] = 1;
+    }
+    if (ready) {
+      std::int32_t pick = 0;
+      while (pick <= static_cast<std::int32_t>(a_bound) && taken[pick])
+        ++pick;
+      VALOCAL_ENSURE(pick <= static_cast<std::int32_t>(a_bound),
+                     "recoloring palette exhausted");
+      next.pick = pick;
+    }
+  }
+  // Run to completion: nobody terminates before the schedule ends.
+  if (round >= end_) {
+    VALOCAL_ENSURE(next.pick >= 0 || self.pick >= 0,
+                   "be08 schedule ended before every vertex picked");
+    return true;
+  }
+  return false;
+}
+
+ColoringResult compute_be08_arb_color(const Graph& g,
+                                      PartitionParams params) {
+  Be08ArbColorAlgo algo(g.num_vertices(), params);
+  auto run = run_local(g, algo);
+
+  ColoringResult result;
+  result.color = std::move(run.outputs);
+  result.num_colors = count_colors(result.color);
+  result.palette_bound = algo.palette_bound();
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,63 @@
+#include "baseline/luby_mis.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+bool LubyMisAlgo::step(Vertex v, std::size_t round,
+                       const RoundView<State>& view, State& next,
+                       Xoshiro256& rng) const {
+  const auto& self = view.self();
+
+  if (round % 2 == 1) {
+    // Draw phase.
+    next.priority = rng();
+    next.drawn = true;
+    return false;
+  }
+
+  // Resolve phase: an MIS neighbor dominates; otherwise a strict local
+  // maximum (ties broken by ID) joins.
+  for (std::size_t i = 0; i < view.degree(); ++i)
+    if (view.neighbor_state(i).status == 1) {
+      next.status = -1;
+      next.drawn = false;
+      return true;
+    }
+  bool best = self.drawn;
+  for (std::size_t i = 0; i < view.degree(); ++i) {
+    const auto& nbr = view.neighbor_state(i);
+    if (nbr.status != 0 || !nbr.drawn) continue;
+    const Vertex u = view.neighbor(i);
+    if (nbr.priority > self.priority ||
+        (nbr.priority == self.priority && u > v)) {
+      best = false;
+      break;
+    }
+  }
+  if (best) {
+    next.status = 1;
+    next.drawn = false;
+    return true;
+  }
+  next.drawn = false;
+  return false;
+}
+
+LubyMisResult compute_luby_mis(const Graph& g, std::uint64_t seed) {
+  LubyMisAlgo algo;
+  auto run = run_local(g, algo, {.seed = seed});
+
+  LubyMisResult result;
+  result.in_set.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    VALOCAL_ENSURE(run.outputs[v] != 0, "Luby left a vertex undecided");
+    result.in_set[v] = run.outputs[v] == 1;
+  }
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+}  // namespace valocal

@@ -1,0 +1,79 @@
+#include "graph/arboricity.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "util/mathx.hpp"
+
+namespace valocal {
+
+namespace {
+
+struct PeelResult {
+  std::size_t degeneracy = 0;
+  std::vector<Vertex> order;
+};
+
+PeelResult peel(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  PeelResult result;
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<std::size_t> deg(n);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket queue over residual degrees (O(n + m) total).
+  std::vector<std::vector<Vertex>> buckets(max_deg + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+
+  std::size_t cursor = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    while (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+    while (buckets[cursor].empty()) ++cursor;
+    const Vertex v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v]) {
+      --step;
+      continue;
+    }
+    if (deg[v] != cursor) {
+      // Stale bucket entry; reinsert at the true degree.
+      buckets[deg[v]].push_back(v);
+      --step;
+      continue;
+    }
+    removed[v] = 1;
+    result.order.push_back(v);
+    result.degeneracy = std::max(result.degeneracy, deg[v]);
+    for (Vertex u : g.neighbors(v))
+      if (!removed[u]) buckets[--deg[u]].push_back(u);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t degeneracy(const Graph& g) { return peel(g).degeneracy; }
+
+std::vector<Vertex> degeneracy_order(const Graph& g) {
+  return peel(g).order;
+}
+
+std::size_t nash_williams_lb(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  VALOCAL_ENSURE(g.num_vertices() >= 2, "edges imply n >= 2");
+  return static_cast<std::size_t>(
+      ceil_div(g.num_edges(), g.num_vertices() - 1));
+}
+
+std::size_t arboricity_upper_bound(const Graph& g) {
+  return std::max<std::size_t>(1, degeneracy(g));
+}
+
+}  // namespace valocal

@@ -1,0 +1,39 @@
+// Arboricity estimation.
+//
+// The algorithms assume the arboricity `a` is known (Section 6.1 notes
+// the standard reduction from unknown arboricity). Generators report a
+// construction bound; for arbitrary graphs this module supplies:
+//
+//  * degeneracy(G)       — computable exactly in O(m); satisfies
+//                          a(G) <= degeneracy(G) <= 2 a(G) - 1,
+//  * nash_williams_lb(G) — ceil(m / (n - 1)) over the whole graph, a
+//                          lower bound on a(G),
+//
+// so degeneracy is the practical "known arboricity" stand-in.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+/// The degeneracy (smallest d such that every subgraph has a vertex of
+/// degree <= d), computed by the classic peel-min-degree bucket scheme.
+std::size_t degeneracy(const Graph& g);
+
+/// A degeneracy ordering: vertices in peel order; each vertex has at
+/// most degeneracy(g) neighbors later in the order.
+std::vector<Vertex> degeneracy_order(const Graph& g);
+
+/// Nash-Williams global density lower bound ceil(m / (n-1)) (n >= 2);
+/// returns 0 for edgeless graphs.
+std::size_t nash_williams_lb(const Graph& g);
+
+/// Practical arboricity estimate used when a generator bound is not
+/// available: max(nash_williams_lb, ceil(degeneracy / 2)) ... <= a(G)
+/// <= degeneracy(G). Returns the upper bound (safe for the algorithms,
+/// which only need a >= a(G)).
+std::size_t arboricity_upper_bound(const Graph& g);
+
+}  // namespace valocal

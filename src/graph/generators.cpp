@@ -1,0 +1,231 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace valocal::gen {
+
+Graph ring(std::size_t n) {
+  VALOCAL_REQUIRE(n >= 3, "a ring needs n >= 3");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(static_cast<Vertex>(n - 1), 0);
+  return std::move(b).build();
+}
+
+Graph path(std::size_t n) {
+  VALOCAL_REQUIRE(n >= 1, "a path needs n >= 1");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph star(std::size_t n) {
+  VALOCAL_REQUIRE(n >= 2, "a star needs n >= 2");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph complete(std::size_t n) {
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph dary_tree(std::size_t n, std::size_t d) {
+  VALOCAL_REQUIRE(n >= 1 && d >= 1, "dary_tree needs n, d >= 1");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<Vertex>((v - 1) / d));
+  return std::move(b).build();
+}
+
+Graph random_tree(std::size_t n, std::uint64_t seed) {
+  VALOCAL_REQUIRE(n >= 1, "random_tree needs n >= 1");
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<Vertex>(rng.below(v)));
+  return std::move(b).build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  VALOCAL_REQUIRE(rows >= 1 && cols >= 1, "grid needs rows, cols >= 1");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  return std::move(b).build();
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  VALOCAL_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  return std::move(b).build();
+}
+
+Graph hypercube(std::size_t dim) {
+  VALOCAL_REQUIRE(dim >= 1 && dim < 26, "hypercube needs 1 <= dim < 26");
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < dim; ++bit) {
+      const Vertex u = v ^ (Vertex{1} << bit);
+      if (v < u) b.add_edge(v, u);
+    }
+  return std::move(b).build();
+}
+
+Graph forest_union(std::size_t n, std::size_t a, std::uint64_t seed) {
+  VALOCAL_REQUIRE(n >= 2 && a >= 1, "forest_union needs n >= 2, a >= 1");
+  GraphBuilder b(n);
+  for (std::size_t f = 0; f < a; ++f) {
+    Xoshiro256 rng(splitmix64(seed) + f * 0x9e3779b97f4a7c15ULL);
+    // Random attachment tree over a random vertex relabelling: vertex
+    // perm[i] attaches to perm[j] for uniform j < i. Each forest is a
+    // spanning tree, so the union has arboricity <= a.
+    std::vector<Vertex> perm(n);
+    std::iota(perm.begin(), perm.end(), Vertex{0});
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    for (std::size_t i = 1; i < n; ++i)
+      b.add_edge(perm[i], perm[rng.below(i)]);
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi(std::size_t n, double avg_degree, std::uint64_t seed) {
+  VALOCAL_REQUIRE(n >= 2, "erdos_renyi needs n >= 2");
+  VALOCAL_REQUIRE(avg_degree >= 0.0, "average degree must be nonnegative");
+  const double p =
+      std::min(1.0, avg_degree / static_cast<double>(n - 1));
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  if (p <= 0.0) return std::move(b).build();
+  // Geometric skipping (Batagelj-Brandes) over the upper triangle.
+  const double logq = std::log(1.0 - p);
+  std::size_t v = 1, w = static_cast<std::size_t>(-1);
+  while (v < n) {
+    const double r = std::max(rng.uniform01(), 1e-300);
+    w += 1 + (p >= 1.0
+                  ? 0
+                  : static_cast<std::size_t>(std::log(r) / logq));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n)
+      b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+  }
+  return std::move(b).build();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, std::uint64_t seed) {
+  VALOCAL_REQUIRE(m >= 1 && n > m, "barabasi_albert needs n > m >= 1");
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  // Target list where each vertex appears once per incident edge:
+  // sampling uniformly from it is preferential attachment.
+  std::vector<Vertex> targets;
+  targets.reserve(2 * n * m);
+  // Seed clique on m+1 vertices.
+  for (Vertex u = 0; u <= m; ++u)
+    for (Vertex v = u + 1; v <= m; ++v)
+      if (b.add_edge(u, v)) {
+        targets.push_back(u);
+        targets.push_back(v);
+      }
+  for (Vertex v = static_cast<Vertex>(m + 1); v < n; ++v) {
+    std::vector<Vertex> chosen;
+    while (chosen.size() < m) {
+      const Vertex t = targets[rng.below(targets.size())];
+      if (t != v &&
+          std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+        chosen.push_back(t);
+    }
+    for (Vertex t : chosen)
+      if (b.add_edge(v, t)) {
+        targets.push_back(v);
+        targets.push_back(t);
+      }
+  }
+  return std::move(b).build();
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  VALOCAL_REQUIRE(spine >= 1, "caterpillar needs spine >= 1");
+  const std::size_t n = spine * (1 + legs);
+  GraphBuilder b(n);
+  for (Vertex s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  Vertex next = static_cast<Vertex>(spine);
+  for (Vertex s = 0; s < spine; ++s)
+    for (std::size_t l = 0; l < legs; ++l) b.add_edge(s, next++);
+  return std::move(b).build();
+}
+
+Graph star_union(std::size_t n, std::size_t k) {
+  VALOCAL_REQUIRE(k >= 1 && n >= 2 * k, "star_union needs n >= 2k");
+  GraphBuilder b(n);
+  // k centers 0..k-1 joined in a path; remaining vertices distributed
+  // round-robin as leaves.
+  for (Vertex c = 0; c + 1 < k; ++c) b.add_edge(c, c + 1);
+  for (Vertex v = static_cast<Vertex>(k); v < n; ++v)
+    b.add_edge(v, static_cast<Vertex>(v % k));
+  return std::move(b).build();
+}
+
+Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
+  VALOCAL_REQUIRE(n >= d + 1, "random_regular needs n >= d + 1");
+  VALOCAL_REQUIRE(d >= 1, "random_regular needs d >= 1");
+  Xoshiro256 rng(seed);
+  // Configuration model: n*d stubs, paired uniformly; self-loops and
+  // duplicates dropped (a vanishing fraction for constant d).
+  std::vector<Vertex> stubs;
+  stubs.reserve(n * d);
+  for (Vertex v = 0; v < n; ++v)
+    for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+  for (std::size_t i = stubs.size(); i > 1; --i)
+    std::swap(stubs[i - 1], stubs[rng.below(i)]);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    b.add_edge(stubs[i], stubs[i + 1]);
+  return std::move(b).build();
+}
+
+Graph random_bipartite(std::size_t left, std::size_t right,
+                       std::size_t m, std::uint64_t seed) {
+  VALOCAL_REQUIRE(left >= 1 && right >= 1, "need both sides nonempty");
+  VALOCAL_REQUIRE(m <= left * right, "too many edges for the biclique");
+  Xoshiro256 rng(seed);
+  GraphBuilder b(left + right);
+  std::size_t added = 0;
+  while (added < m) {
+    const Vertex u = static_cast<Vertex>(rng.below(left));
+    const Vertex v =
+        static_cast<Vertex>(left + rng.below(right));
+    if (b.add_edge(u, v)) ++added;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace valocal::gen

@@ -1,0 +1,77 @@
+// Synthetic graph families with known or tightly bounded arboricity.
+//
+// The paper has no datasets (substitution S5 in DESIGN.md): all
+// experiments run on these generators. Families marked with a bound on
+// the arboricity `a` are the primary workloads; the bound is what the
+// algorithms receive as their known-arboricity parameter.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace valocal::gen {
+
+/// Cycle C_n (n >= 3). Arboricity 2 (paper's convention for rings).
+Graph ring(std::size_t n);
+
+/// Path P_n. Arboricity 1.
+Graph path(std::size_t n);
+
+/// Star K_{1,n-1}. Arboricity 1, maximum degree n-1 — exercises the
+/// Delta-vs-a separation motivating Section 8.
+Graph star(std::size_t n);
+
+/// Complete graph K_n. Arboricity ceil(n/2).
+Graph complete(std::size_t n);
+
+/// Complete balanced d-ary tree with n vertices (breadth-first filled).
+/// Arboricity 1.
+Graph dary_tree(std::size_t n, std::size_t d);
+
+/// Uniformly random spanning tree shape (random attachment). Arboricity 1.
+Graph random_tree(std::size_t n, std::uint64_t seed);
+
+/// 2-D grid, rows x cols. Planar: arboricity <= 3 (in fact <= 2).
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// 2-D torus, rows x cols (rows, cols >= 3). Arboricity <= 3.
+Graph torus(std::size_t rows, std::size_t cols);
+
+/// Hypercube Q_d with 2^d vertices. Arboricity <= d.
+Graph hypercube(std::size_t dim);
+
+/// Union of `a` independent uniformly random forests on n vertices.
+/// Arboricity <= a by construction; this is the primary
+/// bounded-arboricity workload. Duplicate edges between forests are
+/// dropped (keeps arboricity <= a).
+Graph forest_union(std::size_t n, std::size_t a, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, p) with p = avg_degree / (n-1).
+Graph erdos_renyi(std::size_t n, double avg_degree, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// m existing vertices. Arboricity <= m + 1 (each vertex has <= m edges
+/// to earlier vertices, so the graph is m-degenerate).
+Graph barabasi_albert(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Caterpillar: a path spine of length `spine`, each spine vertex with
+/// `legs` pendant leaves. Arboricity 1; used for high-degree trees.
+Graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// Union of `k` stars sharing no centers plus a connecting path, giving
+/// Delta ~ n/k with arboricity <= 2 — the Delta >> a workload for
+/// Table 1 row 7 / Table 2.
+Graph star_union(std::size_t n, std::size_t k);
+
+/// Random (near-)d-regular graph via the configuration model with
+/// rejection of self-loops/multi-edges (some vertices may fall short of
+/// degree d). Arboricity ~ d/2 + 1.
+Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed);
+
+/// Random bipartite graph with `left` + `right` vertices and m edges
+/// (sampled without replacement).
+Graph random_bipartite(std::size_t left, std::size_t right,
+                       std::size_t m, std::uint64_t seed);
+
+}  // namespace valocal::gen

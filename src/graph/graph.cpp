@@ -1,0 +1,127 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+Graph::Graph(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges)
+    : n_(n) {
+  const std::size_t m = edges.size();
+  edge_u_.reserve(m);
+  edge_v_.reserve(m);
+  for (auto& [u, v] : edges) {
+    VALOCAL_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+    VALOCAL_REQUIRE(u != v, "self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+    edge_u_.push_back(u);
+    edge_v_.push_back(v);
+  }
+
+  offsets_.assign(n_ + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++offsets_[edge_u_[e] + 1];
+    ++offsets_[edge_v_[e] + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  adjacency_.resize(2 * m);
+  incident_.resize(2 * m);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Vertex u = edge_u_[e], v = edge_v_[e];
+    adjacency_[cursor[u]] = v;
+    incident_[cursor[u]++] = static_cast<EdgeId>(e);
+    adjacency_[cursor[v]] = u;
+    incident_[cursor[v]++] = static_cast<EdgeId>(e);
+  }
+
+  // Sort each adjacency slice (with its parallel incident slice) so
+  // neighbors() is ordered and has_edge() can binary-search.
+  for (Vertex v = 0; v < n_; ++v) {
+    const std::size_t lo = offsets_[v], hi = offsets_[v + 1];
+    std::vector<std::pair<Vertex, EdgeId>> slice;
+    slice.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i)
+      slice.emplace_back(adjacency_[i], incident_[i]);
+    std::sort(slice.begin(), slice.end());
+    VALOCAL_REQUIRE(
+        std::adjacent_find(slice.begin(), slice.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }) == slice.end(),
+        "duplicate edges are not allowed");
+    for (std::size_t i = lo; i < hi; ++i) {
+      adjacency_[i] = slice[i - lo].first;
+      incident_[i] = slice[i - lo].second;
+    }
+    max_degree_ = std::max(max_degree_, hi - lo);
+  }
+
+  // Reciprocal ports: for each adjacency slot, the position of the same
+  // edge within the other endpoint's slice.
+  mirror_.resize(2 * m);
+  std::vector<std::uint32_t> slot_of_edge(m);
+  for (Vertex v = 0; v < n_; ++v)
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i)
+      if (v == edge_u_[incident_[i]])
+        slot_of_edge[incident_[i]] =
+            static_cast<std::uint32_t>(i - offsets_[v]);
+  for (Vertex v = 0; v < n_; ++v)
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const EdgeId e = incident_[i];
+      if (v == edge_u_[e]) continue;
+      mirror_[i] = slot_of_edge[e];
+      // And record v's slot as the mirror at u's side.
+    }
+  // Second pass completes the u -> v direction.
+  std::vector<std::uint32_t> slot_of_edge_v(m);
+  for (Vertex v = 0; v < n_; ++v)
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i)
+      if (v == edge_v_[incident_[i]])
+        slot_of_edge_v[incident_[i]] =
+            static_cast<std::uint32_t>(i - offsets_[v]);
+  for (Vertex v = 0; v < n_; ++v)
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const EdgeId e = incident_[i];
+      if (v == edge_u_[e]) mirror_[i] = slot_of_edge_v[e];
+    }
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  return find_edge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  VALOCAL_REQUIRE(u < n_ && v < n_, "vertex out of range");
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+std::uint64_t GraphBuilder::key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+bool GraphBuilder::add_edge(Vertex u, Vertex v) {
+  VALOCAL_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  if (u == v) return false;
+  if (!seen_.insert(key(u, v)).second) return false;
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
+  return seen_.contains(key(u, v));
+}
+
+Graph GraphBuilder::build() && {
+  return Graph(n_, std::move(edges_));
+}
+
+}  // namespace valocal

@@ -1,0 +1,111 @@
+// Immutable undirected simple graph in compressed-sparse-row form.
+//
+// Vertices are 0..n-1; these double as the LOCAL-model processor IDs
+// (tests additionally exercise adversarial ID permutations at the
+// algorithm layer). Edges carry stable indices 0..m-1 so edge-labelling
+// algorithms (edge coloring, matching, forest decomposition) can address
+// them; the two endpoints of edge e are edge_u(e) < edge_v(e).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace valocal {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+inline constexpr Vertex kInvalidVertex = ~Vertex{0};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list over vertices [0, n). Self-loops are
+  /// rejected; duplicate edges are rejected (simple graph).
+  Graph(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges);
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edge_u_.size(); }
+
+  std::size_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge ids incident on v, aligned with neighbors(v): the i-th entry is
+  /// the id of the edge {v, neighbors(v)[i]}.
+  std::span<const EdgeId> incident_edges(Vertex v) const {
+    return {incident_.data() + offsets_[v],
+            incident_.data() + offsets_[v + 1]};
+  }
+
+  Vertex edge_u(EdgeId e) const { return edge_u_[e]; }
+  Vertex edge_v(EdgeId e) const { return edge_v_[e]; }
+
+  /// Port number: the position of edge {v, neighbors(v)[i]} within the
+  /// NEIGHBOR's incident list. In message-passing terms this is the
+  /// reciprocal port of the shared communication link, so per-edge
+  /// state published by the neighbor can be addressed locally.
+  std::size_t neighbor_port(Vertex v, std::size_t i) const {
+    return mirror_[offsets_[v] + i];
+  }
+
+  /// The endpoint of e that is not v.
+  Vertex other_endpoint(EdgeId e, Vertex v) const {
+    return edge_u_[e] == v ? edge_v_[e] : edge_u_[e];
+  }
+
+  /// Maximum degree Delta(G). O(1); precomputed.
+  std::size_t max_degree() const { return max_degree_; }
+
+  /// True if {u, v} is an edge. O(log deg(u)).
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Edge id of {u, v}, or kInvalidEdge. O(log deg(u)).
+  EdgeId find_edge(Vertex u, Vertex v) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::size_t> offsets_;   // n+1
+  std::vector<Vertex> adjacency_;      // 2m
+  std::vector<EdgeId> incident_;       // 2m
+  std::vector<std::uint32_t> mirror_;  // 2m reciprocal ports
+  std::vector<Vertex> edge_u_, edge_v_;  // m each; u < v
+};
+
+/// Incremental edge-list builder with de-duplication.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n) : n_(n) {}
+
+  /// Adds edge {u, v} unless it is a self-loop or already present.
+  /// Returns true if the edge was added.
+  bool add_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  Graph build() &&;
+
+ private:
+  static std::uint64_t key(Vertex u, Vertex v);
+
+  std::size_t n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace valocal

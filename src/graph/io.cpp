@@ -1,0 +1,83 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    os << g.edge_u(e) << ' ' << g.edge_v(e) << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  VALOCAL_REQUIRE(next_data_line(), "edge list: missing header");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  VALOCAL_REQUIRE(static_cast<bool>(header >> n >> m),
+                  "edge list: malformed header");
+
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    VALOCAL_REQUIRE(next_data_line(), "edge list: truncated edge section");
+    std::istringstream row(line);
+    Vertex u = 0, v = 0;
+    VALOCAL_REQUIRE(static_cast<bool>(row >> u >> v),
+                    "edge list: malformed edge line");
+    VALOCAL_REQUIRE(builder.add_edge(u, v),
+                    "edge list: self-loop or duplicate edge");
+  }
+  return std::move(builder).build();
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  VALOCAL_REQUIRE(os.good(), "cannot open file for writing");
+  write_edge_list(os, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  VALOCAL_REQUIRE(is.good(), "cannot open file for reading");
+  return read_edge_list(is);
+}
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<int>* vertex_color) {
+  static const char* kPalette[] = {"red",    "green",  "blue",
+                                   "orange", "purple", "cyan",
+                                   "magenta", "gold"};
+  constexpr std::size_t kPaletteSize = 8;
+  os << "graph valocal {\n";
+  if (vertex_color != nullptr) {
+    VALOCAL_REQUIRE(vertex_color->size() == g.num_vertices(),
+                    "color vector size mismatch");
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      os << "  " << v << " [style=filled, fillcolor="
+         << kPalette[static_cast<std::size_t>((*vertex_color)[v]) %
+                     kPaletteSize]
+         << ", label=\"" << v << ':' << (*vertex_color)[v] << "\"];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    os << "  " << g.edge_u(e) << " -- " << g.edge_v(e) << ";\n";
+  os << "}\n";
+}
+
+}  // namespace valocal

@@ -1,0 +1,31 @@
+// Graph serialization: a plain edge-list text format ("n m" header then
+// one "u v" pair per line, '#' comments allowed) and Graphviz DOT
+// export for visualization. Used by the CLI tool and available as
+// public API for loading external instances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+/// Writes "n m\n" then one "u v" line per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the edge-list format; throws via contract failure on
+/// malformed input. Duplicate edges and self-loops are rejected.
+Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+/// Graphviz DOT output; optional per-vertex colors emit a "color"
+/// attribute (cycled through a small palette).
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<int>* vertex_color = nullptr);
+
+}  // namespace valocal

@@ -1,0 +1,27 @@
+// Vertex relabeling. The vertex-averaged complexity is defined as a MAX
+// over legal ID assignments (Section 2), and the deterministic
+// algorithms' outputs depend on the IDs; relabeling lets tests and
+// benches probe many assignments of the same topology and take the
+// worst, and supplies the bit-reversal rings used to realize [12]'s
+// leader-election lower-bound profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+/// Graph with vertex v renamed to perm[v]; perm must be a permutation
+/// of [0, n).
+Graph relabel(const Graph& g, const std::vector<Vertex>& perm);
+
+/// Uniformly random permutation of [0, n).
+std::vector<Vertex> random_permutation(std::size_t n,
+                                       std::uint64_t seed);
+
+/// Bit-reversal permutation of [0, 2^log_n).
+std::vector<Vertex> bit_reversal_permutation(std::size_t log_n);
+
+}  // namespace valocal

@@ -1,0 +1,33 @@
+#include "graph/subgraph.hpp"
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<Vertex>& members) {
+  InducedSubgraph sub;
+  sub.to_parent = members;
+  sub.to_local.assign(g.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    VALOCAL_REQUIRE(members[i] < g.num_vertices(),
+                    "subgraph member out of range");
+    VALOCAL_REQUIRE(sub.to_local[members[i]] == kInvalidVertex,
+                    "duplicate subgraph member");
+    sub.to_local[members[i]] = static_cast<Vertex>(i);
+  }
+
+  GraphBuilder builder(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const Vertex v = members[i];
+    for (Vertex u : g.neighbors(v)) {
+      const Vertex lu = sub.to_local[u];
+      if (lu != kInvalidVertex && u > v)
+        builder.add_edge(static_cast<Vertex>(i), lu);
+    }
+  }
+  sub.graph = std::move(builder).build();
+  return sub;
+}
+
+}  // namespace valocal

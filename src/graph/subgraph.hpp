@@ -1,0 +1,32 @@
+// Induced-subgraph extraction with a bidirectional vertex mapping —
+// used by the recursive procedures of Section 7.8 (and by validators)
+// to run sub-algorithms on vertex subsets.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+struct InducedSubgraph {
+  Graph graph;                       // the induced subgraph
+  std::vector<Vertex> to_parent;     // local id -> parent id
+  std::vector<Vertex> to_local;      // parent id -> local id or kInvalidVertex
+};
+
+/// Subgraph of g induced by `members` (need not be sorted; duplicates
+/// are not allowed).
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<Vertex>& members);
+
+/// Members selected by a predicate over vertex ids.
+template <class Pred>
+InducedSubgraph induced_subgraph_if(const Graph& g, Pred&& pred) {
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (pred(v)) members.push_back(v);
+  return induced_subgraph(g, members);
+}
+
+}  // namespace valocal

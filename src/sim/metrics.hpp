@@ -1,0 +1,41 @@
+// Execution metrics of a LOCAL-model run (Section 2 of the paper).
+//
+// r(v) is the number of rounds vertex v executes, counting the round in
+// which it publishes its final output and terminates. The paper's
+// measures follow:
+//   RoundSum      = sum_v r(v)
+//   vertex-avg    = RoundSum / n            (T-bar)
+//   worst-case    = max_v r(v)              (classical round complexity)
+// active_per_round[i] is n_{i+1}: the number of vertices still running
+// in round i+1 — Lemma 6.1's decay sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace valocal {
+
+struct Metrics {
+  std::vector<std::uint32_t> rounds;            // r(v), size n
+  std::vector<std::size_t> active_per_round;    // n_i for i = 1..T
+
+  std::uint64_t round_sum() const {
+    std::uint64_t s = 0;
+    for (auto r : rounds) s += r;
+    return s;
+  }
+
+  double vertex_averaged() const {
+    if (rounds.empty()) return 0.0;
+    return static_cast<double>(round_sum()) /
+           static_cast<double>(rounds.size());
+  }
+
+  std::size_t worst_case() const {
+    std::size_t m = 0;
+    for (auto r : rounds) m = m > r ? m : r;
+    return m;
+  }
+};
+
+}  // namespace valocal

@@ -1,0 +1,33 @@
+#include "sim/metrics_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace valocal {
+
+void write_decay_csv(std::ostream& os, const Metrics& metrics) {
+  os << "round,active\n";
+  for (std::size_t i = 0; i < metrics.active_per_round.size(); ++i)
+    os << i + 1 << ',' << metrics.active_per_round[i] << '\n';
+}
+
+void write_rounds_csv(std::ostream& os, const Metrics& metrics) {
+  os << "vertex,rounds\n";
+  for (std::size_t v = 0; v < metrics.rounds.size(); ++v)
+    os << v << ',' << metrics.rounds[v] << '\n';
+}
+
+void write_rounds_histogram_csv(std::ostream& os,
+                                const Metrics& metrics) {
+  std::vector<std::size_t> histogram;
+  for (auto r : metrics.rounds) {
+    if (r >= histogram.size()) histogram.resize(r + 1, 0);
+    ++histogram[r];
+  }
+  os << "rounds,count\n";
+  for (std::size_t r = 1; r < histogram.size(); ++r)
+    if (histogram[r] > 0) os << r << ',' << histogram[r] << '\n';
+}
+
+}  // namespace valocal

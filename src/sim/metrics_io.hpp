@@ -1,0 +1,21 @@
+// Plot-ready CSV serialization of execution metrics: the per-round
+// active-population decay series (Lemma 6.1's n_i) and the per-vertex
+// round counts (r(v) histogram material).
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/metrics.hpp"
+
+namespace valocal {
+
+/// "round,active\n1,1000\n..." — the decay curve.
+void write_decay_csv(std::ostream& os, const Metrics& metrics);
+
+/// "vertex,rounds\n0,3\n..." — per-vertex running times.
+void write_rounds_csv(std::ostream& os, const Metrics& metrics);
+
+/// "rounds,count\n1,512\n..." — the r(v) histogram.
+void write_rounds_histogram_csv(std::ostream& os, const Metrics& metrics);
+
+}  // namespace valocal

@@ -1,0 +1,208 @@
+// Synchronous LOCAL-model round engine.
+//
+// Model. Each vertex of an undirected graph is a processor with a unique
+// ID (its vertex index; adversarial assignments are exercised by
+// permuting inputs at the algorithm layer). Computation proceeds in
+// synchronous rounds. Message size is unbounded, so "sending your whole
+// state to every neighbor each round" is the general form of a LOCAL
+// message schedule; the engine therefore exposes, in round i, read-only
+// access to each neighbor's state as of the END of round i-1
+// (double-buffered). This is exactly the classical LOCAL model.
+//
+// Termination. When a vertex's step() returns Terminated, the engine
+// charges it that final round (the paper's convention: the vertex sends
+// its final output once to all neighbors and then performs no further
+// computation or communication). Its last published state remains
+// visible to neighbors forever, but it executes no further rounds.
+//
+// Algorithm interface (duck-typed; see LocalAlgorithm below):
+//
+//   struct MyAlgo {
+//     struct State { ... };                 // published to neighbors
+//     using Output = ...;                   // final per-vertex output
+//     void init(Vertex v, const Graph& g, State& s) const;
+//     bool step(Vertex v, std::size_t round,             // 1-based
+//               const RoundView<State>& view, State& next,
+//               Xoshiro256& rng) const;     // true => terminate now
+//     Output output(Vertex v, const State& s) const;
+//   };
+//
+// step() must base all decisions on `view` (previous-round states of v
+// and its neighbors), `round`, v's ID, global knowledge (n, and the
+// known arboricity passed at construction of the algorithm object), and
+// `rng`. The engine enforces the double buffer; it cannot enforce that
+// an algorithm refrains from indexing non-neighbors, so RoundView only
+// exposes neighbor access.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace valocal {
+
+/// Read-only window onto the previous round: own state plus the states
+/// of the (radius-1) neighborhood.
+template <class State>
+class RoundView {
+ public:
+  RoundView(const Graph& g, std::span<const State> prev, Vertex v)
+      : graph_(&g), prev_(prev), v_(v) {}
+
+  std::size_t degree() const { return graph_->degree(v_); }
+
+  std::span<const Vertex> neighbors() const {
+    return graph_->neighbors(v_);
+  }
+
+  std::span<const EdgeId> incident_edges() const {
+    return graph_->incident_edges(v_);
+  }
+
+  Vertex neighbor(std::size_t i) const { return graph_->neighbors(v_)[i]; }
+
+  const State& neighbor_state(std::size_t i) const {
+    return prev_[graph_->neighbors(v_)[i]];
+  }
+
+  /// Port of the shared edge within neighbor i's incident list — lets
+  /// per-edge state published by the neighbor be addressed locally.
+  std::size_t neighbor_port(std::size_t i) const {
+    return graph_->neighbor_port(v_, i);
+  }
+
+  /// State of a specific neighbor u (debug-checked to be adjacent).
+  const State& state_of(Vertex u) const {
+    VALOCAL_DCHECK(graph_->has_edge(v_, u) ,
+                   "LOCAL violation: reading a non-neighbor's state");
+    return prev_[u];
+  }
+
+  const State& self() const { return prev_[v_]; }
+
+ private:
+  const Graph* graph_;
+  std::span<const State> prev_;
+  Vertex v_;
+};
+
+/// Per-round verdict of a vertex. The paper (Section 2) modifies the
+/// first definition of [12]: a vertex sends its final output once and
+/// then stops entirely (kTerminate). [12]'s original definition lets a
+/// vertex COMMIT its output — freezing r(v) — while continuing to relay
+/// (kCommit); the leader-election result reproduced in algo/rings
+/// needs that weaker mode. Algorithms whose step returns bool get the
+/// paper's semantics (true == kTerminate).
+enum class StepResult : std::uint8_t {
+  kContinue = 0,
+  kCommit = 1,     // output fixed, r(v) frozen, keeps executing
+  kTerminate = 2,  // output fixed, stops executing, state stays visible
+};
+
+template <class A>
+concept LocalAlgorithm = requires(const A a, Vertex v, const Graph& g,
+                                  typename A::State& s,
+                                  const RoundView<typename A::State>& view,
+                                  Xoshiro256& rng) {
+  typename A::State;
+  typename A::Output;
+  { a.init(v, g, s) } -> std::same_as<void>;
+  requires std::same_as<decltype(a.step(v, std::size_t{1}, view, s, rng)),
+                        bool> ||
+               std::same_as<decltype(a.step(v, std::size_t{1}, view, s,
+                                            rng)),
+                            StepResult>;
+  { a.output(v, s) } -> std::same_as<typename A::Output>;
+};
+
+struct RunOptions {
+  std::uint64_t seed = 0x5eedULL;
+  /// Hard cap on rounds; 0 = automatic (generous) bound. Exceeding the
+  /// cap aborts: every algorithm in this library must terminate.
+  std::size_t max_rounds = 0;
+};
+
+template <LocalAlgorithm A>
+struct RunResult {
+  std::vector<typename A::Output> outputs;
+  std::vector<typename A::State> final_states;
+  Metrics metrics;
+};
+
+/// Runs `algo` on `g` to completion and returns outputs plus metrics.
+template <LocalAlgorithm A>
+RunResult<A> run_local(const Graph& g, const A& algo,
+                       RunOptions opt = {}) {
+  using State = typename A::State;
+  const std::size_t n = g.num_vertices();
+
+  RunResult<A> result;
+  result.metrics.rounds.assign(n, 0);
+
+  std::vector<State> cur(n);
+  for (Vertex v = 0; v < n; ++v) algo.init(v, g, cur[v]);
+
+  std::vector<Xoshiro256> rng;
+  rng.reserve(n);
+  for (Vertex v = 0; v < n; ++v) rng.push_back(vertex_rng(opt.seed, v));
+
+  std::vector<Vertex> active(n);
+  for (Vertex v = 0; v < n; ++v) active[v] = v;
+
+  const std::size_t cap =
+      opt.max_rounds != 0 ? opt.max_rounds : 64 * n + 100000;
+
+  // Staged updates keep per-round cost proportional to the number of
+  // *active* vertices — the quantity the paper's RoundSum counts.
+  std::vector<std::pair<Vertex, State>> staged;
+  std::vector<Vertex> still_active;
+
+  std::size_t round = 0;
+  while (!active.empty()) {
+    ++round;
+    VALOCAL_ENSURE(round <= cap, "round cap exceeded: non-terminating run");
+    result.metrics.active_per_round.push_back(active.size());
+
+    staged.clear();
+    still_active.clear();
+    staged.reserve(active.size());
+    for (Vertex v : active) {
+      RoundView<State> view(g, {cur.data(), cur.size()}, v);
+      State next = cur[v];
+      StepResult verdict;
+      if constexpr (std::is_same_v<decltype(algo.step(v, round, view,
+                                                      next, rng[v])),
+                                   bool>) {
+        verdict = algo.step(v, round, view, next, rng[v])
+                      ? StepResult::kTerminate
+                      : StepResult::kContinue;
+      } else {
+        verdict = algo.step(v, round, view, next, rng[v]);
+      }
+      staged.emplace_back(v, std::move(next));
+      if (verdict != StepResult::kContinue &&
+          result.metrics.rounds[v] == 0) {
+        result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
+      }
+      if (verdict != StepResult::kTerminate) still_active.push_back(v);
+    }
+    for (auto& [v, s] : staged) cur[v] = std::move(s);
+    active.swap(still_active);
+  }
+
+  result.outputs.reserve(n);
+  for (Vertex v = 0; v < n; ++v)
+    result.outputs.push_back(algo.output(v, cur[v]));
+  result.final_states = std::move(cur);
+  return result;
+}
+
+}  // namespace valocal

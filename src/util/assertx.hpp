@@ -1,0 +1,46 @@
+// Lightweight contract-checking macros (Core Guidelines I.6 / E.12 style).
+//
+// VALOCAL_REQUIRE  — precondition on public API entry; always checked.
+// VALOCAL_ENSURE   — postcondition / internal invariant; always checked.
+// VALOCAL_DCHECK   — hot-path invariant; compiled out in NDEBUG builds.
+//
+// Violations abort with a source location and message; in a research
+// library silently wrong answers are strictly worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace valocal::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "valocal: %s failed: (%s) at %s:%d%s%s\n", kind, cond,
+               file, line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace valocal::detail
+
+#define VALOCAL_REQUIRE(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::valocal::detail::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__, msg);                  \
+  } while (false)
+
+#define VALOCAL_ENSURE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::valocal::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                          __LINE__, msg);                \
+  } while (false)
+
+#ifdef NDEBUG
+#define VALOCAL_DCHECK(cond, msg) \
+  do {                            \
+  } while (false)
+#else
+#define VALOCAL_DCHECK(cond, msg) VALOCAL_ENSURE(cond, msg)
+#endif

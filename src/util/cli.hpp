@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for the CLI tool and examples:
+// "--name value" and "--name=value" forms, typed getters with defaults,
+// and an unknown-flag check so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace valocal {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Aborts with a usage message listing the offending flags unless
+  /// every provided flag is in `known`.
+  void check_known(const std::vector<std::string>& known) const;
+
+  const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace valocal

@@ -1,0 +1,134 @@
+#include "util/mathx.hpp"
+
+#include <bit>
+#include <cmath>
+#include <initializer_list>
+
+#include "util/assertx.hpp"
+
+namespace valocal {
+
+int log2_floor(std::uint64_t x) {
+  VALOCAL_REQUIRE(x >= 1, "log2_floor needs x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int log2_ceil(std::uint64_t x) {
+  VALOCAL_REQUIRE(x >= 1, "log2_ceil needs x >= 1");
+  if (x == 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+std::uint64_t ilog(int k, std::uint64_t n) {
+  VALOCAL_REQUIRE(k >= 0, "ilog needs k >= 0");
+  VALOCAL_REQUIRE(n >= 1, "ilog needs n >= 1");
+  std::uint64_t v = n;
+  for (int i = 0; i < k; ++i) {
+    v = static_cast<std::uint64_t>(log2_ceil(v));
+    if (v <= 1) return 1;
+  }
+  return v;
+}
+
+int log_star(std::uint64_t n) {
+  VALOCAL_REQUIRE(n >= 1, "log_star needs n >= 1");
+  int k = 0;
+  while (n > 1) {
+    n = static_cast<std::uint64_t>(log2_ceil(n));
+    ++k;
+  }
+  return k;
+}
+
+int rho(std::uint64_t n) {
+  VALOCAL_REQUIRE(n >= 2, "rho needs n >= 2");
+  const auto star = static_cast<std::uint64_t>(log_star(n));
+  if (star <= 1) return 2;  // degenerate tiny n: the scheme needs k >= 2
+  // Largest k with log^(k-1) n >= log* n. k = 1 always qualifies
+  // (log^(0) n = n >= log* n for n >= 2); the loop walks upward.
+  int k = 1;
+  while (ilog(k, n) >= star && k < 64) ++k;
+  return k;  // k is now the largest value whose (k-1)-iterate qualifies.
+}
+
+int log_floor(double base, std::uint64_t x) {
+  VALOCAL_REQUIRE(base > 1.0, "log_floor needs base > 1");
+  VALOCAL_REQUIRE(x >= 1, "log_floor needs x >= 1");
+  // Compute by repeated multiplication to avoid floating-point edge cases.
+  int k = 0;
+  double acc = base;
+  while (acc <= static_cast<double>(x)) {
+    acc *= base;
+    ++k;
+  }
+  return k;
+}
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is exact for all 64-bit integers.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  VALOCAL_REQUIRE(n >= 2, "next_prime needs n >= 2");
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+std::uint64_t ipow_capped(std::uint64_t base, unsigned exp,
+                          std::uint64_t cap) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && r > cap / base) return cap;
+    r *= base;
+    if (r >= cap) return cap;
+  }
+  return r;
+}
+
+}  // namespace valocal

@@ -1,0 +1,95 @@
+// Deterministic, splittable random-number generation.
+//
+// Randomized LOCAL algorithms need one independent stream per vertex so
+// that results do not depend on the order the simulator iterates
+// vertices. We derive per-vertex streams from a master seed with
+// SplitMix64 (a strong 64-bit mixer) and run each stream with
+// xoshiro256**, which is small, fast, and statistically solid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace valocal {
+
+/// SplitMix64 step: advances the state and returns a mixed 64-bit value.
+/// Used both as a tiny standalone generator and as the seeding mixer.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(operator()()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Fair coin.
+  bool coin() { return (operator()() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a per-vertex generator from a master seed. Two calls with the
+/// same (seed, vertex) always yield identical streams.
+inline Xoshiro256 vertex_rng(std::uint64_t master_seed, std::uint64_t vertex,
+                             std::uint64_t round_salt = 0) {
+  std::uint64_t s = master_seed;
+  std::uint64_t a = splitmix64(s);
+  s ^= (vertex + 0x632be59bd9b4e019ULL) * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t b = splitmix64(s);
+  s ^= (round_salt + 1) * 0xd1342543de82ef95ULL;
+  std::uint64_t c = splitmix64(s);
+  return Xoshiro256(a ^ (b * 0xff51afd7ed558ccdULL) ^
+                    (c * 0xc4ceb9fe1a85ec53ULL));
+}
+
+}  // namespace valocal

@@ -1,0 +1,37 @@
+// Fixed-width console table printer used by the benchmark harnesses to
+// emit paper-style rows, with optional CSV mirroring for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace valocal {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace valocal

@@ -1,0 +1,62 @@
+// Distributed local verification (the LCL / LCL* discussion of
+// Section 8.1, after [23] and [11]): every problem this library solves
+// is locally checkable — a constant-round distributed verifier where
+// each vertex inspects only its own output and its neighbors' outputs
+// accepts everywhere if and only if the global solution is correct.
+//
+// This module implements those one-round verifiers faithfully: each
+// function returns the per-vertex accept bits computed from
+// radius-1 information only, plus the conjunction. The global checkers
+// in validate.hpp are the centralized ground truth; tests assert the
+// two agree on both valid and corrupted solutions.
+//
+// Note the classical caveat: acyclicity of an orientation is NOT
+// locally checkable in one round; the forest-decomposition verifier
+// below checks the locally checkable part (labels within range,
+// per-label out-degree <= 1), exactly the LCL fragment.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+
+namespace valocal {
+
+struct LocalVerdict {
+  std::vector<bool> accept;  // per vertex
+  bool all_accept = true;
+};
+
+/// Vertex coloring: v accepts iff color[v] >= 0, below `palette` (pass
+/// SIZE_MAX to skip the palette check), and different from every
+/// neighbor's color.
+LocalVerdict locally_check_coloring(const Graph& g,
+                                    const std::vector<int>& color,
+                                    std::size_t palette);
+
+/// MIS: v accepts iff (v in set and no neighbor in set) or (v not in
+/// set and some neighbor in set).
+LocalVerdict locally_check_mis(const Graph& g,
+                               const std::vector<bool>& in_set);
+
+/// Maximal matching: v accepts iff at most one incident edge is
+/// matched, and if none is, every neighbor has a matched edge.
+LocalVerdict locally_check_matching(const Graph& g,
+                                    const std::vector<bool>& in_matching);
+
+/// Edge coloring: v accepts iff its incident edges carry distinct
+/// colors in [0, palette).
+LocalVerdict locally_check_edge_coloring(
+    const Graph& g, const std::vector<int>& edge_color,
+    std::size_t palette);
+
+/// Forest decomposition (LCL fragment): v accepts iff all its incident
+/// edges are oriented, labels lie in [0, num_forests), and v has at
+/// most one outgoing edge per label.
+LocalVerdict locally_check_forest_labels(const Graph& g,
+                                         const Orientation& orient,
+                                         const std::vector<int>& label,
+                                         std::size_t num_forests);
+
+}  // namespace valocal

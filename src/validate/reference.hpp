@@ -1,0 +1,28 @@
+// Sequential (centralized) reference solvers. Not distributed — used
+// only to cross-check distributed outputs and to size expectations
+// (e.g., the greedy chromatic bound) in tests and benches.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace valocal::ref {
+
+/// Greedy coloring along the given order; at most Delta+1 colors.
+std::vector<int> greedy_coloring(const Graph& g,
+                                 const std::vector<Vertex>& order);
+
+/// Greedy coloring in degeneracy order; at most degeneracy+1 colors.
+std::vector<int> degeneracy_coloring(const Graph& g);
+
+/// Greedy MIS by ascending vertex id.
+std::vector<bool> greedy_mis(const Graph& g);
+
+/// Greedy maximal matching by ascending edge id.
+std::vector<bool> greedy_matching(const Graph& g);
+
+/// Greedy proper edge coloring with at most 2*Delta - 1 colors.
+std::vector<int> greedy_edge_coloring(const Graph& g);
+
+}  // namespace valocal::ref

@@ -1,0 +1,143 @@
+#include "validate/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/arboricity.hpp"
+
+namespace valocal {
+
+bool is_proper_coloring(const Graph& g, const std::vector<int>& color) {
+  if (color.size() != g.num_vertices()) return false;
+  for (int c : color)
+    if (c < 0) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (color[g.edge_u(e)] == color[g.edge_v(e)]) return false;
+  return true;
+}
+
+std::size_t count_colors(const std::vector<int>& color) {
+  std::unordered_set<int> used(color.begin(), color.end());
+  return used.size();
+}
+
+bool is_proper_edge_coloring(const Graph& g,
+                             const std::vector<int>& edge_color) {
+  if (edge_color.size() != g.num_edges()) return false;
+  for (int c : edge_color)
+    if (c < 0) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto edges = g.incident_edges(v);
+    std::unordered_set<int> seen;
+    for (EdgeId e : edges)
+      if (!seen.insert(edge_color[e]).second) return false;
+  }
+  return true;
+}
+
+bool is_mis(const Graph& g, const std::vector<bool>& in_set) {
+  if (in_set.size() != g.num_vertices()) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (in_set[g.edge_u(e)] && in_set[g.edge_v(e)]) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (Vertex u : g.neighbors(v))
+      if (in_set[u]) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g,
+                         const std::vector<bool>& in_matching) {
+  if (in_matching.size() != g.num_edges()) return false;
+  std::vector<char> matched(g.num_vertices(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_matching[e]) continue;
+    if (matched[g.edge_u(e)] || matched[g.edge_v(e)]) return false;
+    matched[g.edge_u(e)] = matched[g.edge_v(e)] = 1;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!in_matching[e] && !matched[g.edge_u(e)] && !matched[g.edge_v(e)])
+      return false;  // addable edge: not maximal
+  return true;
+}
+
+bool is_forest_decomposition(const Graph& g, const Orientation& orient,
+                             const std::vector<int>& label,
+                             std::size_t num_forests) {
+  if (label.size() != g.num_edges()) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!orient.is_oriented(e)) return false;
+    if (label[e] < 0 || static_cast<std::size_t>(label[e]) >= num_forests)
+      return false;
+  }
+  if (!orient.is_acyclic()) return false;
+  // Per-label out-degree <= 1: each vertex has at most one outgoing edge
+  // with a given label, so each label class is a functional forest.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::unordered_set<int> out_labels;
+    for (EdgeId e : g.incident_edges(v)) {
+      if (orient.tail(e) != v) continue;
+      if (!out_labels.insert(label[e]).second) return false;
+    }
+  }
+  return true;
+}
+
+bool is_h_partition(const Graph& g, const std::vector<int>& hset,
+                    std::size_t bound) {
+  if (hset.size() != g.num_vertices()) return false;
+  for (int h : hset)
+    if (h < 1) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::size_t later = 0;
+    for (Vertex u : g.neighbors(v))
+      if (hset[u] >= hset[v]) ++later;
+    if (later > bound) return false;
+  }
+  return true;
+}
+
+std::size_t coloring_defect(const Graph& g,
+                            const std::vector<int>& color) {
+  std::size_t worst = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::size_t same = 0;
+    for (Vertex u : g.neighbors(v))
+      if (color[u] == color[v]) ++same;
+    worst = std::max(worst, same);
+  }
+  return worst;
+}
+
+std::size_t coloring_arbdefect_ub(const Graph& g,
+                                  const std::vector<int>& color) {
+  // Build each color class's induced subgraph and take the max
+  // degeneracy (degeneracy >= arboricity >= degeneracy/2).
+  std::unordered_map<int, std::vector<Vertex>> classes;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    classes[color[v]].push_back(v);
+
+  std::size_t worst = 0;
+  std::vector<Vertex> local_id(g.num_vertices(), kInvalidVertex);
+  for (auto& [c, members] : classes) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      local_id[members[i]] = static_cast<Vertex>(i);
+    GraphBuilder b(members.size());
+    for (Vertex v : members)
+      for (Vertex u : g.neighbors(v))
+        if (color[u] == c && u > v) b.add_edge(local_id[v], local_id[u]);
+    const Graph sub = std::move(b).build();
+    worst = std::max(worst, degeneracy(sub));
+    for (Vertex v : members) local_id[v] = kInvalidVertex;
+  }
+  return worst;
+}
+
+}  // namespace valocal

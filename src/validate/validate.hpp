@@ -1,0 +1,54 @@
+// Output validators for every problem the paper studies (Section 5) and
+// every structural invariant its building blocks promise (Section 6).
+// Used by tests, examples, and the benchmark harnesses to certify every
+// measured run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+
+namespace valocal {
+
+/// Proper vertex coloring: adjacent vertices differ; every color >= 0.
+bool is_proper_coloring(const Graph& g, const std::vector<int>& color);
+
+/// Number of distinct colors used.
+std::size_t count_colors(const std::vector<int>& color);
+
+/// Proper edge coloring: edges sharing an endpoint differ.
+bool is_proper_edge_coloring(const Graph& g,
+                             const std::vector<int>& edge_color);
+
+/// Independent + maximal (every non-member has a member neighbor).
+bool is_mis(const Graph& g, const std::vector<bool>& in_set);
+
+/// Matching (no shared endpoints) + maximal (no addable edge).
+bool is_maximal_matching(const Graph& g,
+                         const std::vector<bool>& in_matching);
+
+/// Forest decomposition: label[e] in [0, num_forests); within each
+/// label, the oriented edges have out-degree <= 1 per vertex and the
+/// orientation is acyclic (i.e., each label is a rooted forest).
+bool is_forest_decomposition(const Graph& g, const Orientation& orient,
+                             const std::vector<int>& label,
+                             std::size_t num_forests);
+
+/// H-partition property (Section 6.1): hset[v] in [1, num_sets]; every
+/// v in H_i has at most `bound` neighbors in H_i u H_{i+1} u ...
+bool is_h_partition(const Graph& g, const std::vector<int>& hset,
+                    std::size_t bound);
+
+/// Defect of a (possibly improper) coloring: max over v of the number
+/// of same-colored neighbors.
+std::size_t coloring_defect(const Graph& g, const std::vector<int>& color);
+
+/// Arbdefect (Section 7.8): max over color classes of the degeneracy of
+/// the induced subgraph — an efficiently computable upper bound on the
+/// per-class arboricity within a factor of 2.
+std::size_t coloring_arbdefect_ub(const Graph& g,
+                                  const std::vector<int>& color);
+
+}  // namespace valocal

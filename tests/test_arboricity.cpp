@@ -1,0 +1,61 @@
+#include "graph/arboricity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(Degeneracy, Basics) {
+  EXPECT_EQ(degeneracy(gen::path(10)), 1u);
+  EXPECT_EQ(degeneracy(gen::ring(10)), 2u);
+  EXPECT_EQ(degeneracy(gen::star(50)), 1u);
+  EXPECT_EQ(degeneracy(gen::complete(7)), 6u);
+  EXPECT_EQ(degeneracy(gen::dary_tree(31, 2)), 1u);
+  EXPECT_EQ(degeneracy(gen::grid(8, 8)), 2u);
+}
+
+TEST(Degeneracy, EmptyAndTrivial) {
+  EXPECT_EQ(degeneracy(Graph(0, {})), 0u);
+  EXPECT_EQ(degeneracy(Graph(3, {})), 0u);
+  EXPECT_EQ(degeneracy(Graph(2, {{0, 1}})), 1u);
+}
+
+TEST(DegeneracyOrder, EachVertexHasBoundedLaterNeighbors) {
+  const Graph g = gen::forest_union(300, 3, 11);
+  const std::size_t d = degeneracy(g);
+  const auto order = degeneracy_order(g);
+  ASSERT_EQ(order.size(), g.num_vertices());
+  std::vector<std::size_t> pos(g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::size_t later = 0;
+    for (Vertex u : g.neighbors(v))
+      if (pos[u] > pos[v]) ++later;
+    EXPECT_LE(later, d);
+  }
+}
+
+TEST(NashWilliams, LowerBound) {
+  EXPECT_EQ(nash_williams_lb(gen::complete(6)), 3u);  // 15/(5) = 3
+  EXPECT_EQ(nash_williams_lb(gen::path(10)), 1u);
+  EXPECT_EQ(nash_williams_lb(Graph(5, {})), 0u);
+}
+
+TEST(Arboricity, SandwichOnKnownFamilies) {
+  // degeneracy/2 <= a <= degeneracy; nash_williams_lb <= a.
+  for (std::size_t a : {2u, 4u, 6u}) {
+    const Graph g = gen::forest_union(400, a, 3);
+    EXPECT_LE(nash_williams_lb(g), a);
+    EXPECT_LE(arboricity_upper_bound(g), 2 * a - 1);
+    EXPECT_GE(arboricity_upper_bound(g), a / 2);
+  }
+}
+
+TEST(Arboricity, UpperBoundAtLeastOne) {
+  EXPECT_EQ(arboricity_upper_bound(Graph(4, {})), 1u);
+}
+
+}  // namespace
+}  // namespace valocal

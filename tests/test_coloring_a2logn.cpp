@@ -1,0 +1,91 @@
+#include "algo/coloring_a2logn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(ColoringA2LogN, ProperOnForestUnion) {
+  for (std::size_t a : {1u, 2u, 4u}) {
+    const Graph g = gen::forest_union(500, a, 3);
+    const auto result = compute_coloring_a2logn(g, {.arboricity = a});
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << "a=" << a;
+    EXPECT_LE(result.num_colors, result.palette_bound);
+  }
+}
+
+TEST(ColoringA2LogN, Theorem72ConstantVertexAveraged) {
+  // VA = partition VA + 1 <= (2+eps)/eps + 2.
+  for (std::size_t n : {512u, 2048u, 8192u, 32768u}) {
+    const Graph g = gen::forest_union(n, 2, 11);
+    const auto result =
+        compute_coloring_a2logn(g, {.arboricity = 2, .epsilon = 1.0});
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << n;
+    EXPECT_LE(result.metrics.vertex_averaged(), 5.0) << n;
+  }
+}
+
+TEST(ColoringA2LogN, PaletteIsPolylogForConstantArboricity) {
+  // Corollary 7.3 regime: for constant a, O(a^2 log n)-coloring with
+  // O(1) VA means palette well below n.
+  const std::size_t n = 16384;
+  const Graph g = gen::forest_union(n, 2, 29);
+  const auto result = compute_coloring_a2logn(g, {.arboricity = 2});
+  EXPECT_LT(result.palette_bound, n / 4);
+}
+
+TEST(ColoringA2LogN, WorksOnVariousFamilies) {
+  struct Case {
+    Graph g;
+    std::size_t a;
+  };
+  std::vector<Case> cases;
+  cases.push_back({gen::ring(64), 2});
+  cases.push_back({gen::dary_tree(255, 2), 1});
+  cases.push_back({gen::grid(16, 16), 3});
+  cases.push_back({gen::star(128), 1});
+  cases.push_back({gen::hypercube(8), 8});
+  for (auto& c : cases) {
+    const auto result = compute_coloring_a2logn(c.g, {.arboricity = c.a});
+    EXPECT_TRUE(is_proper_coloring(c.g, result.color));
+  }
+}
+
+TEST(ColoringA2LogN, AdversarialIdsViaPermutedGeneration) {
+  // The same topology under different random labellings stays proper
+  // (forest_union already permutes vertex roles per seed).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = gen::forest_union(256, 3, seed);
+    const auto result = compute_coloring_a2logn(g, {.arboricity = 3});
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << seed;
+  }
+}
+
+class A2LogNSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 double>> {};
+
+TEST_P(A2LogNSweep, ProperAndCheap) {
+  const auto [n, a, eps] = GetParam();
+  const Graph g = gen::forest_union(n, a, n * 31 + a);
+  const auto result = compute_coloring_a2logn(
+      g, {.arboricity = a, .epsilon = eps});
+  EXPECT_TRUE(is_proper_coloring(g, result.color));
+  EXPECT_LE(result.metrics.vertex_averaged(),
+            (2.0 + eps) / eps + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, A2LogNSweep,
+    ::testing::Combine(::testing::Values(128, 1024, 4096),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace valocal

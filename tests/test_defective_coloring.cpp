@@ -1,0 +1,83 @@
+#include "algo/defective_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(ArbdefectiveColoring, ClassArboricityWithinBound) {
+  const Graph g = gen::erdos_renyi(500, 8.0, 151);
+  for (std::size_t colors : {2u, 4u, 8u}) {
+    const auto result =
+        compute_arbdefective_coloring(g, {.colors = colors});
+    EXPECT_LE(result.num_colors, colors);
+    // Each class carries an acyclic orientation of out-degree
+    // <= floor(D/k), hence class degeneracy <= that bound.
+    EXPECT_LE(coloring_arbdefect_ub(g, result.color),
+              arbdefective_class_bound(g.max_degree(), colors))
+        << colors;
+  }
+}
+
+TEST(ArbdefectiveColoring, MoreColorsThanDegreeMeansProper) {
+  // k > D: every vertex finds a bucket unused by its parents, so each
+  // class is an independent set — a proper coloring.
+  const Graph g = gen::forest_union(300, 2, 157);
+  const auto result = compute_arbdefective_coloring(
+      g, {.colors = g.max_degree() + 1});
+  EXPECT_TRUE(is_proper_coloring(g, result.color));
+}
+
+TEST(ArbdefectiveColoring, OneColorIsTheWholeGraph) {
+  const Graph g = gen::ring(20);
+  const auto result = compute_arbdefective_coloring(g, {.colors = 1});
+  EXPECT_EQ(result.num_colors, 1u);
+  EXPECT_LE(coloring_arbdefect_ub(g, result.color), 2u);
+}
+
+TEST(ArbdefectiveColoring, SweepTerminatesHighAuxEarly) {
+  // Vertices terminate at their own descending slot: the average is
+  // strictly below the worst case on any graph with spread-out aux.
+  const Graph g = gen::erdos_renyi(800, 6.0, 163);
+  const auto result = compute_arbdefective_coloring(g, {.colors = 3});
+  EXPECT_LT(result.metrics.vertex_averaged(),
+            static_cast<double>(result.metrics.worst_case()));
+}
+
+TEST(ArbdefectiveColoring, RoundsTrackDegreeBoundNotN) {
+  // Same topology family with the same fixed degree bound: rounds are
+  // a function of (D, log* n) only.
+  const auto small = compute_arbdefective_coloring(
+      gen::dary_tree(512, 3), {.colors = 2, .degree_bound = 8});
+  const auto large = compute_arbdefective_coloring(
+      gen::dary_tree(16384, 3), {.colors = 2, .degree_bound = 8});
+  EXPECT_LE(large.metrics.worst_case(),
+            small.metrics.worst_case() + 4);
+}
+
+class ArbdefectiveSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ArbdefectiveSweep, BoundHolds) {
+  const auto [n, a, colors] = GetParam();
+  const Graph g = gen::forest_union(n, a, n + a + colors);
+  const auto result = compute_arbdefective_coloring(g, {.colors = colors});
+  EXPECT_LE(coloring_arbdefect_ub(g, result.color),
+            arbdefective_class_bound(g.max_degree(), colors));
+  EXPECT_LE(result.num_colors, colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArbdefectiveSweep,
+    ::testing::Combine(::testing::Values(128, 512),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(1, 2, 5, 9)));
+
+}  // namespace
+}  // namespace valocal

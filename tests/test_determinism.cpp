@@ -1,0 +1,71 @@
+// Bit-reproducibility guarantees: deterministic algorithms yield
+// identical outputs AND metrics across repeated runs; randomized ones
+// are pure functions of the seed. Guards the engine against future
+// iteration-order or staging regressions.
+#include <gtest/gtest.h>
+
+#include "algo/coloring_a2.hpp"
+#include "algo/coloring_a2logn.hpp"
+#include "algo/coloring_ka.hpp"
+#include "algo/edge_coloring.hpp"
+#include "algo/matching.hpp"
+#include "algo/mis.hpp"
+#include "algo/one_plus_eta.hpp"
+#include "algo/rand_a_loglog.hpp"
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(Determinism, ColoringsAreBitStable) {
+  const Graph g = gen::forest_union(600, 3, 223);
+  const PartitionParams params{.arboricity = 3};
+
+  const auto a1 = compute_coloring_a2logn(g, params);
+  const auto a2 = compute_coloring_a2logn(g, params);
+  EXPECT_EQ(a1.color, a2.color);
+  EXPECT_EQ(a1.metrics.rounds, a2.metrics.rounds);
+
+  const auto b1 = compute_coloring_a2(g, params);
+  const auto b2 = compute_coloring_a2(g, params);
+  EXPECT_EQ(b1.color, b2.color);
+
+  const auto c1 = compute_coloring_ka(g, params, 2);
+  const auto c2 = compute_coloring_ka(g, params, 2);
+  EXPECT_EQ(c1.color, c2.color);
+
+  const auto d1 = compute_one_plus_eta(g, {.arboricity = 3});
+  const auto d2 = compute_one_plus_eta(g, {.arboricity = 3});
+  EXPECT_EQ(d1.color, d2.color);
+  EXPECT_EQ(d1.metrics.rounds, d2.metrics.rounds);
+}
+
+TEST(Determinism, EdgeProblemsAreBitStable) {
+  const Graph g = gen::forest_union(400, 2, 227);
+  const PartitionParams params{.arboricity = 2};
+
+  const auto e1 = compute_edge_coloring(g, params);
+  const auto e2 = compute_edge_coloring(g, params);
+  EXPECT_EQ(e1.color, e2.color);
+
+  const auto m1 = compute_matching(g, params);
+  const auto m2 = compute_matching(g, params);
+  EXPECT_EQ(m1.in_matching, m2.in_matching);
+
+  const auto s1 = compute_mis(g, params);
+  const auto s2 = compute_mis(g, params);
+  EXPECT_EQ(s1.in_set, s2.in_set);
+}
+
+TEST(Determinism, RandomizedIsAPureFunctionOfTheSeed) {
+  const Graph g = gen::forest_union(400, 2, 229);
+  const auto r1 = compute_rand_a_loglog(g, {.arboricity = 2}, 5);
+  const auto r2 = compute_rand_a_loglog(g, {.arboricity = 2}, 5);
+  const auto r3 = compute_rand_a_loglog(g, {.arboricity = 2}, 6);
+  EXPECT_EQ(r1.color, r2.color);
+  EXPECT_EQ(r1.metrics.rounds, r2.metrics.rounds);
+  EXPECT_NE(r1.color, r3.color);
+}
+
+}  // namespace
+}  // namespace valocal

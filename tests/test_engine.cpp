@@ -1,0 +1,166 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+// Each vertex idles for (v % 5) rounds and then terminates — exercises
+// the engine's round accounting in isolation.
+struct CountdownAlgo {
+  struct State {
+    std::uint32_t target = 0;
+  };
+  using Output = std::uint32_t;
+
+  void init(Vertex v, const Graph&, State& s) const {
+    s.target = v % 5 + 1;
+  }
+  bool step(Vertex, std::size_t round, const RoundView<State>& view,
+            State&, Xoshiro256&) const {
+    return round >= view.self().target;
+  }
+  Output output(Vertex, const State& s) const { return s.target; }
+};
+
+TEST(Engine, RoundAccounting) {
+  const Graph g = gen::ring(10);
+  const auto result = run_local(g, CountdownAlgo{});
+  for (Vertex v = 0; v < 10; ++v)
+    EXPECT_EQ(result.metrics.rounds[v], v % 5 + 1);
+  EXPECT_EQ(result.metrics.worst_case(), 5u);
+  // RoundSum = 2 * (1+2+3+4+5) = 30; average = 3.
+  EXPECT_EQ(result.metrics.round_sum(), 30u);
+  EXPECT_DOUBLE_EQ(result.metrics.vertex_averaged(), 3.0);
+}
+
+TEST(Engine, ActiveCountsDecay) {
+  const Graph g = gen::ring(10);
+  const auto result = run_local(g, CountdownAlgo{});
+  // Rounds 1..5 have 10, 8, 6, 4, 2 active vertices.
+  const std::vector<std::size_t> expected{10, 8, 6, 4, 2};
+  EXPECT_EQ(result.metrics.active_per_round, expected);
+}
+
+// Flood-max: every round, adopt the largest value heard so far;
+// terminate after exactly n rounds (a diameter upper bound known to
+// all). Tests neighbor-state visibility across rounds.
+struct FloodMaxN {
+  std::size_t n;
+  struct State {
+    Vertex best = 0;
+  };
+  using Output = Vertex;
+
+  void init(Vertex v, const Graph&, State& s) const { s.best = v; }
+  bool step(Vertex, std::size_t round, const RoundView<State>& view,
+            State& next, Xoshiro256&) const {
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      next.best = std::max(next.best, view.neighbor_state(i).best);
+    return round >= n;
+  }
+  Output output(Vertex, const State& s) const { return s.best; }
+};
+
+TEST(Engine, FloodMaxConvergesOnRing) {
+  const Graph g = gen::ring(12);
+  const auto result = run_local(g, FloodMaxN{12});
+  for (Vertex v = 0; v < 12; ++v) EXPECT_EQ(result.outputs[v], 11u);
+  EXPECT_EQ(result.metrics.worst_case(), 12u);
+}
+
+TEST(Engine, DoubleBufferingIsEnforced) {
+  // On a path 0-1-2, after one round vertex 2 must have seen only 1's
+  // ROUND-0 value: information travels one hop per round.
+  const Graph g = gen::path(3);
+  struct TwoRounds {
+    struct State {
+      Vertex best = 0;
+    };
+    using Output = Vertex;
+    void init(Vertex v, const Graph&, State& s) const { s.best = v; }
+    bool step(Vertex, std::size_t round, const RoundView<State>& view,
+              State& next, Xoshiro256&) const {
+      for (std::size_t i = 0; i < view.degree(); ++i)
+        next.best = std::max(next.best, view.neighbor_state(i).best);
+      return round >= 1;  // single round only
+    }
+    Output output(Vertex, const State& s) const { return s.best; }
+  };
+  const auto result = run_local(g, TwoRounds{});
+  EXPECT_EQ(result.outputs[0], 1u);  // saw neighbor 1
+  EXPECT_EQ(result.outputs[1], 2u);  // saw neighbor 2
+  EXPECT_EQ(result.outputs[2], 2u);  // its own id; 0 is two hops away
+}
+
+TEST(Engine, TerminatedStateStaysVisible) {
+  // Vertex 0 terminates in round 1 publishing a flag; vertex 1 waits
+  // until it observes the flag, which must remain visible in round 2+.
+  const Graph g = gen::path(2);
+  struct FlagAlgo {
+    struct State {
+      bool flag = false;
+      bool saw = false;
+    };
+    using Output = bool;
+    void init(Vertex, const Graph&, State&) const {}
+    bool step(Vertex v, std::size_t round, const RoundView<State>& view,
+              State& next, Xoshiro256&) const {
+      if (v == 0) {
+        next.flag = true;
+        return true;  // terminate round 1 with flag published
+      }
+      if (round >= 2 && view.neighbor_state(0).flag) {
+        next.saw = true;
+        return true;
+      }
+      return false;
+    }
+    Output output(Vertex v, const State& s) const {
+      return v == 0 ? s.flag : s.saw;
+    }
+  };
+  const auto result = run_local(g, FlagAlgo{});
+  EXPECT_TRUE(result.outputs[0]);
+  EXPECT_TRUE(result.outputs[1]);
+  EXPECT_EQ(result.metrics.rounds[0], 1u);
+  EXPECT_EQ(result.metrics.rounds[1], 2u);
+}
+
+TEST(Engine, DeterministicRngStreams) {
+  const Graph g = gen::ring(8);
+  struct RandomStop {
+    struct State {
+      std::uint64_t draw = 0;
+    };
+    using Output = std::uint64_t;
+    void init(Vertex, const Graph&, State&) const {}
+    bool step(Vertex, std::size_t, const RoundView<State>&, State& next,
+              Xoshiro256& rng) const {
+      next.draw = rng();
+      return true;
+    }
+    Output output(Vertex, const State& s) const { return s.draw; }
+  };
+  const auto r1 = run_local(g, RandomStop{}, {.seed = 99});
+  const auto r2 = run_local(g, RandomStop{}, {.seed = 99});
+  const auto r3 = run_local(g, RandomStop{}, {.seed = 100});
+  EXPECT_EQ(r1.outputs, r2.outputs);
+  EXPECT_NE(r1.outputs, r3.outputs);
+  // Streams must differ across vertices.
+  EXPECT_NE(r1.outputs[0], r1.outputs[1]);
+}
+
+TEST(Engine, EmptyGraph) {
+  const Graph g(0, {});
+  const auto result = run_local(g, CountdownAlgo{});
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_EQ(result.metrics.round_sum(), 0u);
+}
+
+}  // namespace
+}  // namespace valocal

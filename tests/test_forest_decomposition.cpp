@@ -1,0 +1,103 @@
+#include "algo/forest_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(ForestDecomposition, ValidOnForestUnion) {
+  for (std::size_t a : {1u, 2u, 4u}) {
+    const Graph g = gen::forest_union(300, a, 31);
+    const auto result =
+        compute_forest_decomposition(g, {.arboricity = a});
+    EXPECT_TRUE(is_forest_decomposition(g, result.decomposition.orientation,
+                                        result.decomposition.label,
+                                        result.decomposition.num_forests))
+        << "a=" << a;
+    // O(a) forests: at most the H-partition degree bound A.
+    EXPECT_LE(result.decomposition.num_forests,
+              PartitionParams{.arboricity = a}.threshold());
+  }
+}
+
+TEST(ForestDecomposition, OrientationAcyclicAndBounded) {
+  const Graph g = gen::erdos_renyi(500, 5.0, 7);
+  const std::size_t a = arboricity_upper_bound(g);
+  const auto result = compute_forest_decomposition(g, {.arboricity = a});
+  EXPECT_TRUE(result.decomposition.orientation.is_acyclic());
+  EXPECT_LE(result.decomposition.orientation.max_out_degree(),
+            PartitionParams{.arboricity = a}.threshold());
+  EXPECT_EQ(result.decomposition.orientation.num_oriented(),
+            g.num_edges());
+}
+
+TEST(ForestDecomposition, CrossSetEdgesPointToLaterSet) {
+  const Graph g = gen::star(50);
+  const auto result = compute_forest_decomposition(g, {.arboricity = 1});
+  // Leaves join H_1, center joins H_2; all edges towards the center.
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(result.decomposition.orientation.head(e), 0u);
+}
+
+TEST(ForestDecomposition, SameSetEdgesPointToHigherId) {
+  const Graph g = gen::ring(6);  // all vertices join H_1 together
+  const auto result = compute_forest_decomposition(g, {.arboricity = 2});
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(result.decomposition.orientation.head(e),
+              std::max(g.edge_u(e), g.edge_v(e)));
+}
+
+TEST(ForestDecomposition, VertexAveragedConstant) {
+  // One extra round over Procedure Partition: VA <= (2+eps)/eps + 2.
+  for (std::size_t n : {512u, 4096u}) {
+    const Graph g = gen::forest_union(n, 2, 13);
+    const auto result = compute_forest_decomposition(
+        g, {.arboricity = 2, .epsilon = 1.0});
+    EXPECT_LE(result.metrics.vertex_averaged(), 3.0 + 2.0) << n;
+  }
+}
+
+TEST(ForestDecomposition, LabelsAreLocalEnumerations) {
+  const Graph g = gen::forest_union(200, 3, 19);
+  const auto result = compute_forest_decomposition(g, {.arboricity = 3});
+  const auto& fd = result.decomposition;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::vector<bool> used(fd.num_forests, false);
+    for (EdgeId e : g.incident_edges(v)) {
+      if (fd.orientation.tail(e) != v) continue;
+      ASSERT_GE(fd.label[e], 0);
+      ASSERT_LT(static_cast<std::size_t>(fd.label[e]), fd.num_forests);
+      EXPECT_FALSE(used[fd.label[e]]) << "duplicate out-label at " << v;
+      used[fd.label[e]] = true;
+    }
+  }
+}
+
+class ForestDecompSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 double>> {};
+
+TEST_P(ForestDecompSweep, AlwaysValid) {
+  const auto [n, a, eps] = GetParam();
+  const Graph g = gen::forest_union(n, a, 7 * n + a);
+  const auto result = compute_forest_decomposition(
+      g, {.arboricity = a, .epsilon = eps});
+  EXPECT_TRUE(is_forest_decomposition(g, result.decomposition.orientation,
+                                      result.decomposition.label,
+                                      result.decomposition.num_forests));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ForestDecompSweep,
+    ::testing::Combine(::testing::Values(128, 1024),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace valocal

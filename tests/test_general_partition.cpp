@@ -1,0 +1,78 @@
+#include "algo/general_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(GeneralPartition, ValidWithoutKnowingArboricity) {
+  for (std::size_t a : {1u, 3u, 8u, 16u}) {
+    const Graph g = gen::forest_union(600, a, 73);
+    const auto result = compute_general_partition(g);
+    EXPECT_TRUE(
+        is_h_partition(g, result.hset, result.effective_threshold))
+        << "a=" << a;
+    for (auto h : result.hset) EXPECT_GE(h, 1);
+  }
+}
+
+TEST(GeneralPartition, EstimateWithinConstantFactor) {
+  for (std::size_t a : {2u, 8u, 32u}) {
+    const Graph g = gen::forest_union(800, a, 79);
+    const auto result = compute_general_partition(g);
+    // The estimate doubles until the partition completes: it can
+    // overshoot the true arboricity by at most a constant factor, and
+    // the threshold stays O(a).
+    EXPECT_LE(result.arboricity_estimate, 4 * a) << a;
+    EXPECT_LE(result.effective_threshold,
+              PartitionParams{.arboricity = 4 * a}.threshold())
+        << a;
+  }
+}
+
+TEST(GeneralPartition, PhaseOneSufficesForTrees) {
+  const Graph g = gen::random_tree(500, 83);
+  const auto result = compute_general_partition(g);
+  EXPECT_EQ(result.arboricity_estimate, 1u);
+}
+
+TEST(GeneralPartition, VertexAveragedStaysConstant) {
+  for (std::size_t n : {1024u, 8192u}) {
+    const Graph g = gen::forest_union(n, 4, 89);
+    const auto result = compute_general_partition(g);
+    // Phases multiply the constant, not the asymptotics.
+    EXPECT_LE(result.metrics.vertex_averaged(), 40.0) << n;
+  }
+}
+
+TEST(GeneralPartition, DenseGraphNeedsLatePhase) {
+  const Graph g = gen::complete(64);  // arboricity 32
+  const auto result = compute_general_partition(g);
+  EXPECT_GE(result.arboricity_estimate, 8u);
+  EXPECT_TRUE(is_h_partition(g, result.hset, result.effective_threshold));
+}
+
+class GeneralPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(GeneralPartitionSweep, AlwaysValid) {
+  const auto [n, a] = GetParam();
+  const Graph g = gen::forest_union(n, a, n * 7 + a);
+  const auto result = compute_general_partition(g);
+  EXPECT_TRUE(is_h_partition(g, result.hset, result.effective_threshold));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneralPartitionSweep,
+    ::testing::Combine(::testing::Values(64, 512, 2048),
+                       ::testing::Values(1, 2, 5, 11)));
+
+}  // namespace
+}  // namespace valocal

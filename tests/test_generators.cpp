@@ -1,0 +1,146 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/arboricity.hpp"
+
+namespace valocal {
+namespace {
+
+// A graph is connected iff BFS from 0 reaches everything.
+bool connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<Vertex> queue{0};
+  seen[0] = 1;
+  for (std::size_t i = 0; i < queue.size(); ++i)
+    for (Vertex u : g.neighbors(queue[i]))
+      if (!seen[u]) {
+        seen[u] = 1;
+        queue.push_back(u);
+      }
+  return queue.size() == g.num_vertices();
+}
+
+TEST(Generators, Ring) {
+  const Graph g = gen::ring(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.max_degree(), 8u);
+  EXPECT_EQ(degeneracy(g), 1u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Generators, DaryTree) {
+  const Graph g = gen::dary_tree(15, 2);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(connected(g));
+  EXPECT_EQ(degeneracy(g), 1u);  // trees are 1-degenerate
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = gen::random_tree(100, seed);
+    EXPECT_EQ(g.num_edges(), 99u);
+    EXPECT_TRUE(connected(g));
+    EXPECT_EQ(degeneracy(g), 1u);
+  }
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3u * 5);  // horizontal + vertical
+  EXPECT_TRUE(connected(g));
+  EXPECT_LE(degeneracy(g), 2u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = gen::torus(4, 4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, ForestUnionArboricityBound) {
+  for (std::size_t a : {1u, 2u, 4u, 8u}) {
+    const Graph g = gen::forest_union(500, a, 42);
+    // Union of a spanning trees: arboricity <= a, so degeneracy <= 2a-1.
+    EXPECT_LE(degeneracy(g), 2 * a - 1) << "a=" << a;
+    EXPECT_GE(g.num_edges(), 499u);  // at least one spanning tree kept
+    EXPECT_TRUE(connected(g));
+  }
+}
+
+TEST(Generators, ForestUnionDeterministic) {
+  const Graph g1 = gen::forest_union(200, 3, 7);
+  const Graph g2 = gen::forest_union(200, 3, 7);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+TEST(Generators, ErdosRenyiDensity) {
+  const Graph g = gen::erdos_renyi(2000, 6.0, 9);
+  const double avg =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(avg, 6.0, 1.0);
+}
+
+TEST(Generators, ErdosRenyiEmptyAndDegenerate) {
+  EXPECT_EQ(gen::erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+}
+
+TEST(Generators, BarabasiAlbertDegeneracy) {
+  const Graph g = gen::barabasi_albert(400, 3, 5);
+  EXPECT_TRUE(connected(g));
+  // m-degenerate by construction (each vertex has <= m earlier edges,
+  // aside from the small seed clique).
+  EXPECT_LE(degeneracy(g), 3u);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(10, 3);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_EQ(degeneracy(g), 1u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, StarUnionHasHighDeltaLowArboricity) {
+  const Graph g = gen::star_union(1000, 4);
+  EXPECT_GE(g.max_degree(), 200u);
+  EXPECT_LE(degeneracy(g), 2u);
+  EXPECT_TRUE(connected(g));
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,79 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace valocal {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, SingleEdge) {
+  Graph g(2, {{0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_u(0), 0u);
+  EXPECT_EQ(g.edge_v(0), 1u);
+  EXPECT_EQ(g.other_endpoint(0, 0), 1u);
+  EXPECT_EQ(g.other_endpoint(0, 1), 0u);
+}
+
+TEST(Graph, EndpointsNormalized) {
+  Graph g(3, {{2, 0}, {2, 1}});
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_LT(g.edge_u(e), g.edge_v(e));
+}
+
+TEST(Graph, NeighborsSortedAndAligned) {
+  Graph g(5, {{0, 3}, {0, 1}, {0, 4}, {0, 2}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  const auto inc = g.incident_edges(0);
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    EXPECT_EQ(g.other_endpoint(inc[i], 0), nbrs[i]);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.find_edge(1, 2), g.find_edge(2, 1));
+  EXPECT_NE(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 3), kInvalidEdge);
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {3, 4}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.add_edge(0, 1));
+  EXPECT_FALSE(b.add_edge(1, 0));  // same edge, reversed
+  EXPECT_FALSE(b.add_edge(0, 0));  // self-loop rejected
+  EXPECT_TRUE(b.add_edge(1, 2));
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_FALSE(b.has_edge(0, 2));
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}});
+  std::size_t sum = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/cli.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  const Graph g = gen::forest_union(200, 3, 97);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_TRUE(back.has_edge(g.edge_u(e), g.edge_v(e)));
+}
+
+TEST(GraphIo, CommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n\n3 2\n# edges follow\n0 1\n\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, MalformedInputDies) {
+  std::stringstream missing("3 5\n0 1\n");
+  EXPECT_DEATH((void)read_edge_list(missing), "truncated");
+  std::stringstream selfloop("2 1\n1 1\n");
+  EXPECT_DEATH((void)read_edge_list(selfloop), "self-loop");
+}
+
+TEST(GraphIo, DotOutputContainsEdgesAndColors) {
+  const Graph g = gen::path(3);
+  const std::vector<int> colors{0, 1, 0};
+  std::stringstream out;
+  write_dot(out, g, &colors);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note the parser's rule: "--flag token" binds the token as the
+  // flag's value, so bare booleans must use "--flag=true" (or appear
+  // last / before another flag).
+  const char* argv[] = {"prog",          "--n",       "42", "--eps=1.5",
+                        "--verbose=true", "input.txt", "--name", "ring"};
+  CliArgs args(8, argv);
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 1.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_string("name", ""), "ring");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_EQ(args.get_string("gen", "forest"), "forest");
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, MalformedNumberDies) {
+  const char* argv[] = {"prog", "--n", "notanumber"};
+  CliArgs args(3, argv);
+  EXPECT_DEATH((void)args.get_int("n", 0), "malformed");
+}
+
+}  // namespace
+}  // namespace valocal

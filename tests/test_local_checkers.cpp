@@ -1,0 +1,124 @@
+#include "validate/local_checkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/delta_plus1.hpp"
+#include "algo/edge_coloring.hpp"
+#include "algo/forest_decomposition.hpp"
+#include "algo/matching.hpp"
+#include "algo/mis.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(LocalCheckers, ColoringAgreesWithGlobal) {
+  const Graph g = gen::forest_union(300, 3, 101);
+  auto coloring = compute_delta_plus1(g, {.arboricity = 3}).color;
+  auto verdict =
+      locally_check_coloring(g, coloring, g.max_degree() + 1);
+  EXPECT_TRUE(verdict.all_accept);
+
+  // Corrupt one vertex: it and its clashing neighbor must both reject,
+  // far-away vertices must still accept.
+  const Vertex victim = 5;
+  const Vertex neighbor = g.neighbors(victim)[0];
+  coloring[victim] = coloring[neighbor];
+  verdict = locally_check_coloring(g, coloring, g.max_degree() + 1);
+  EXPECT_FALSE(verdict.all_accept);
+  EXPECT_FALSE(verdict.accept[victim]);
+  EXPECT_FALSE(verdict.accept[neighbor]);
+  std::size_t rejecting = 0;
+  for (bool a : verdict.accept) rejecting += !a;
+  EXPECT_LE(rejecting, g.degree(victim) + g.degree(neighbor) + 2);
+}
+
+TEST(LocalCheckers, PaletteViolationIsLocal) {
+  const Graph g = gen::path(4);
+  const std::vector<int> coloring{0, 1, 0, 99};
+  const auto verdict = locally_check_coloring(g, coloring, 3);
+  EXPECT_FALSE(verdict.all_accept);
+  EXPECT_FALSE(verdict.accept[3]);
+  EXPECT_TRUE(verdict.accept[0]);
+}
+
+TEST(LocalCheckers, MisAgreesWithGlobal) {
+  const Graph g = gen::forest_union(300, 2, 103);
+  auto mis = compute_mis(g, {.arboricity = 2}).in_set;
+  EXPECT_TRUE(locally_check_mis(g, mis).all_accept);
+
+  // Remove a member: its non-dominated neighbors reject.
+  Vertex member = 0;
+  while (!mis[member]) ++member;
+  mis[member] = false;
+  const auto verdict = locally_check_mis(g, mis);
+  EXPECT_FALSE(verdict.all_accept);
+}
+
+TEST(LocalCheckers, MatchingAgreesWithGlobal) {
+  const Graph g = gen::forest_union(300, 2, 107);
+  auto mm = compute_matching(g, {.arboricity = 2}).in_matching;
+  EXPECT_TRUE(locally_check_matching(g, mm).all_accept);
+
+  // Drop a matched edge: at least one endpoint now sees an addable edge
+  // or an unmatched neighborhood.
+  EdgeId matched = 0;
+  while (!mm[matched]) ++matched;
+  mm[matched] = false;
+  EXPECT_FALSE(locally_check_matching(g, mm).all_accept);
+
+  // Double-match a vertex: overmatched endpoint rejects.
+  auto mm2 = compute_matching(g, {.arboricity = 2}).in_matching;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!mm2[e]) {
+      mm2[e] = true;
+      break;
+    }
+  EXPECT_FALSE(locally_check_matching(g, mm2).all_accept);
+}
+
+TEST(LocalCheckers, EdgeColoringAgreesWithGlobal) {
+  const Graph g = gen::forest_union(200, 2, 109);
+  auto ec = compute_edge_coloring(g, {.arboricity = 2});
+  EXPECT_TRUE(
+      locally_check_edge_coloring(g, ec.color, ec.palette_bound)
+          .all_accept);
+
+  // Clash two edges at vertex 0.
+  const auto edges = g.incident_edges(0);
+  if (edges.size() >= 2) {
+    ec.color[edges[1]] = ec.color[edges[0]];
+    EXPECT_FALSE(
+        locally_check_edge_coloring(g, ec.color, ec.palette_bound)
+            .all_accept);
+  }
+}
+
+TEST(LocalCheckers, ForestLabelsAgreeWithGlobal) {
+  const Graph g = gen::forest_union(200, 3, 113);
+  auto fd = compute_forest_decomposition(g, {.arboricity = 3});
+  EXPECT_TRUE(locally_check_forest_labels(
+                  g, fd.decomposition.orientation, fd.decomposition.label,
+                  fd.decomposition.num_forests)
+                  .all_accept);
+
+  // Duplicate an out-label at some vertex with >= 2 outgoing edges.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::vector<EdgeId> out;
+    for (EdgeId e : g.incident_edges(v))
+      if (fd.decomposition.orientation.tail(e) == v) out.push_back(e);
+    if (out.size() >= 2) {
+      fd.decomposition.label[out[1]] = fd.decomposition.label[out[0]];
+      EXPECT_FALSE(locally_check_forest_labels(
+                       g, fd.decomposition.orientation,
+                       fd.decomposition.label,
+                       fd.decomposition.num_forests)
+                       .all_accept);
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,108 @@
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace valocal {
+namespace {
+
+TEST(MathX, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(2), 1);
+  EXPECT_EQ(log2_floor(3), 1);
+  EXPECT_EQ(log2_floor(4), 2);
+  EXPECT_EQ(log2_floor(1023), 9);
+  EXPECT_EQ(log2_floor(1024), 10);
+  EXPECT_EQ(log2_floor(~0ULL), 63);
+}
+
+TEST(MathX, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(4), 2);
+  EXPECT_EQ(log2_ceil(5), 3);
+  EXPECT_EQ(log2_ceil(1024), 10);
+  EXPECT_EQ(log2_ceil(1025), 11);
+}
+
+TEST(MathX, IteratedLog) {
+  EXPECT_EQ(ilog(0, 65536), 65536u);
+  EXPECT_EQ(ilog(1, 65536), 16u);
+  EXPECT_EQ(ilog(2, 65536), 4u);
+  EXPECT_EQ(ilog(3, 65536), 2u);
+  EXPECT_EQ(ilog(4, 65536), 1u);
+  EXPECT_EQ(ilog(10, 65536), 1u);  // clamped at 1
+}
+
+TEST(MathX, LogStar) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(3), 2);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(5), 3);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(17), 4);
+  EXPECT_EQ(log_star(65536), 4);
+  EXPECT_EQ(log_star(65537), 5);
+}
+
+TEST(MathX, RhoDefinition) {
+  // rho(n) is the largest k with log^(k-1) n >= log* n.
+  for (std::uint64_t n : {16ULL, 256ULL, 65536ULL, 1ULL << 40}) {
+    const int k = rho(n);
+    EXPECT_GE(k, 2) << n;
+    EXPECT_GE(ilog(k - 1, n), static_cast<std::uint64_t>(log_star(n)))
+        << n;
+    EXPECT_LT(ilog(k, n), static_cast<std::uint64_t>(log_star(n))) << n;
+  }
+}
+
+TEST(MathX, RhoIsAtMostLogStar) {
+  for (std::uint64_t n : {16ULL, 1024ULL, 1ULL << 20, 1ULL << 50})
+    EXPECT_LE(rho(n), log_star(n) + 1) << n;
+}
+
+TEST(MathX, LogFloorGenericBase) {
+  EXPECT_EQ(log_floor(2.0, 8), 3);
+  EXPECT_EQ(log_floor(2.0, 9), 3);
+  EXPECT_EQ(log_floor(1.5, 1), 0);
+  // log base 1.5 of 100 ~ 11.35
+  EXPECT_EQ(log_floor(1.5, 100), 11);
+}
+
+TEST(MathX, Primality) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(2147483647ULL));  // 2^31 - 1
+  EXPECT_FALSE(is_prime(2147483647ULL * 3));
+  EXPECT_TRUE(is_prime(1000000007ULL));
+}
+
+TEST(MathX, NextPrime) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(100), 101u);
+}
+
+TEST(MathX, IpowCapped) {
+  EXPECT_EQ(ipow_capped(2, 10, 1ULL << 40), 1024u);
+  EXPECT_EQ(ipow_capped(10, 30, 1000), 1000u);  // capped
+  EXPECT_EQ(ipow_capped(1, 100, 50), 1u);
+}
+
+TEST(MathX, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+}  // namespace
+}  // namespace valocal

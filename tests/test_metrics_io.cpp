@@ -1,0 +1,63 @@
+#include "sim/metrics_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/partition.hpp"
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(MetricsIo, DecayCsv) {
+  Metrics m;
+  m.active_per_round = {10, 6, 2};
+  std::ostringstream os;
+  write_decay_csv(os, m);
+  EXPECT_EQ(os.str(), "round,active\n1,10\n2,6\n3,2\n");
+}
+
+TEST(MetricsIo, RoundsCsvAndHistogram) {
+  Metrics m;
+  m.rounds = {1, 3, 3, 2};
+  std::ostringstream rounds;
+  write_rounds_csv(rounds, m);
+  EXPECT_EQ(rounds.str(), "vertex,rounds\n0,1\n1,3\n2,3\n3,2\n");
+  std::ostringstream hist;
+  write_rounds_histogram_csv(hist, m);
+  EXPECT_EQ(hist.str(), "rounds,count\n1,1\n2,1\n3,2\n");
+}
+
+TEST(MetricsIo, RealExecutionRoundTrips) {
+  const Graph g = gen::forest_union(200, 2, 191);
+  const auto result = compute_h_partition(g, {.arboricity = 2});
+  std::ostringstream os;
+  write_decay_csv(os, result.metrics);
+  // Header + one line per round.
+  std::size_t lines = 0;
+  for (char c : os.str()) lines += c == '\n';
+  EXPECT_EQ(lines, result.metrics.active_per_round.size() + 1);
+}
+
+TEST(Generators, RandomRegularDegreeProfile) {
+  const Graph g = gen::random_regular(400, 6, 193);
+  EXPECT_LE(g.max_degree(), 6u);
+  // Most vertices reach full degree (only rejected pairs fall short).
+  std::size_t full = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    full += g.degree(v) == 6;
+  EXPECT_GE(full, 300u);
+}
+
+TEST(Generators, RandomBipartiteIsBipartite) {
+  const Graph g = gen::random_bipartite(50, 70, 300, 197);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(g.edge_u(e), 50u);
+    EXPECT_GE(g.edge_v(e), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace valocal

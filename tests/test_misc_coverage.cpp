@@ -1,0 +1,101 @@
+// Corner-case coverage for the smaller units: validators' negative
+// paths, orientation length on branching DAGs, cover-free degenerate
+// degrees, segmentation clamping, and the ring guard.
+#include <gtest/gtest.h>
+
+#include "algo/coloring_ka2.hpp"
+#include "algo/rings.hpp"
+#include "algo/segmentation.hpp"
+#include "coverfree/coverfree.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+#include "graph/relabel.hpp"
+#include "util/mathx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(ValidateNegative, ForestDecompositionRejections) {
+  const Graph g = gen::ring(4);
+  Orientation o(g);
+  // Unoriented edge.
+  std::vector<int> label(g.num_edges(), 0);
+  EXPECT_FALSE(is_forest_decomposition(g, o, label, 1));
+  // Label out of range.
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    o.orient_towards(e, std::max(g.edge_u(e), g.edge_v(e)));
+  label[0] = 7;
+  EXPECT_FALSE(is_forest_decomposition(g, o, label, 2));
+  // Duplicate out-label at a vertex: vertex 0 has two outgoing edges.
+  label = {0, 0, 0, 0};
+  EXPECT_FALSE(is_forest_decomposition(g, o, label, 2));
+  // Directed cycle.
+  Orientation cyc(g);
+  cyc.orient_towards(g.find_edge(0, 1), 1);
+  cyc.orient_towards(g.find_edge(1, 2), 2);
+  cyc.orient_towards(g.find_edge(2, 3), 3);
+  cyc.orient_towards(g.find_edge(0, 3), 0);
+  std::vector<int> ok_label{0, 0, 0, 0};
+  EXPECT_FALSE(is_forest_decomposition(g, cyc, ok_label, 1));
+}
+
+TEST(ValidateNegative, HPartitionSizeAndLabelChecks) {
+  const Graph g = gen::path(3);
+  EXPECT_FALSE(is_h_partition(g, {1, 1}, 5));     // wrong size
+  EXPECT_FALSE(is_h_partition(g, {1, -2, 1}, 5)); // negative label
+}
+
+TEST(OrientationCorners, BranchingDagLength) {
+  // Diamond: 0->1, 0->2, 1->3, 2->3 — longest path 2, out-deg 2 at 0.
+  const Graph g(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  Orientation o(g);
+  o.orient_towards(g.find_edge(0, 1), 1);
+  o.orient_towards(g.find_edge(0, 2), 2);
+  o.orient_towards(g.find_edge(1, 3), 3);
+  o.orient_towards(g.find_edge(2, 3), 3);
+  EXPECT_TRUE(o.is_acyclic());
+  EXPECT_EQ(o.length(), 2u);
+  EXPECT_EQ(o.max_out_degree(), 2u);
+  EXPECT_EQ(o.parents(0).size(), 2u);
+  EXPECT_EQ(o.children(3).size(), 2u);
+}
+
+TEST(CoverFreeCorners, DegreeOneFamilies) {
+  // r = 1: escaping a single other set — pairwise distinctness is
+  // enough, and sets of any two distinct colors must differ somewhere.
+  const CoverFreeFamily f(10, 1);
+  for (std::uint64_t c = 1; c < 10; ++c) {
+    const std::vector<std::uint64_t> other{0};
+    const auto x = f.pick_escaping(c, other);
+    const auto s0 = f.set_of(0);
+    EXPECT_EQ(std::count(s0.begin(), s0.end(), x), 0) << c;
+  }
+}
+
+TEST(SegmentationCorners, KClampingInKa2) {
+  // k below 2 and above rho(n) are clamped, not rejected.
+  ColoringKa2Algo low(1024, {.arboricity = 2}, 1);
+  EXPECT_EQ(low.k(), 2);
+  ColoringKa2Algo high(1024, {.arboricity = 2}, 99);
+  EXPECT_EQ(high.k(), rho(1024));
+}
+
+TEST(RingGuard, RejectsRelabeledRings) {
+  const Graph ring = relabel(gen::ring(16), bit_reversal_permutation(4));
+  EXPECT_DEATH((void)compute_ring_3coloring(ring),
+               "canonically oriented");
+  // Leader election has no orientation requirement: it must succeed.
+  const auto result = compute_ring_leader_election(ring);
+  EXPECT_EQ(result.leader, 0u);
+}
+
+TEST(MathCorners, LogFloorAndIlogAgree) {
+  for (std::uint64_t n : {2ULL, 17ULL, 1024ULL, 65537ULL}) {
+    EXPECT_EQ(log_floor(2.0, n), log2_floor(n)) << n;
+    EXPECT_EQ(ilog(1, n), static_cast<std::uint64_t>(log2_ceil(n)));
+  }
+}
+
+}  // namespace
+}  // namespace valocal

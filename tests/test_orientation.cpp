@@ -1,0 +1,79 @@
+#include "graph/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(Orientation, UnorientedByDefault) {
+  const Graph g = gen::path(4);
+  Orientation o(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_FALSE(o.is_oriented(e));
+  EXPECT_EQ(o.num_oriented(), 0u);
+  EXPECT_TRUE(o.is_acyclic());
+  EXPECT_EQ(o.length(), 0u);
+}
+
+TEST(Orientation, OrientTowardsHigherIdIsAcyclic) {
+  const Graph g = gen::ring(8);
+  Orientation o(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    o.orient_towards(e, g.edge_v(e));  // towards larger endpoint
+  EXPECT_TRUE(o.is_acyclic());
+  EXPECT_EQ(o.num_oriented(), g.num_edges());
+  EXPECT_LE(o.max_out_degree(), 2u);
+}
+
+TEST(Orientation, DirectedTriangleIsCyclic) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  Orientation o(g);
+  o.orient_towards(g.find_edge(0, 1), 1);
+  o.orient_towards(g.find_edge(1, 2), 2);
+  o.orient_towards(g.find_edge(0, 2), 0);  // 2 -> 0 closes the cycle
+  EXPECT_FALSE(o.is_acyclic());
+  EXPECT_EQ(o.length(), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Orientation, PathLength) {
+  const Graph g = gen::path(5);  // 0-1-2-3-4
+  Orientation o(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    o.orient_towards(e, g.edge_v(e));
+  EXPECT_EQ(o.length(), 4u);
+  EXPECT_EQ(o.max_out_degree(), 1u);
+}
+
+TEST(Orientation, ParentsAndChildren) {
+  const Graph g = gen::star(4);  // center 0, leaves 1..3
+  Orientation o(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    o.orient_towards(e, 0);  // all edges towards the center
+  EXPECT_EQ(o.out_degree(0), 0u);
+  EXPECT_EQ(o.children(0).size(), 3u);
+  EXPECT_EQ(o.parents(1), std::vector<Vertex>{0});
+  EXPECT_EQ(o.out_degree(1), 1u);
+  EXPECT_EQ(o.length(), 1u);
+}
+
+TEST(Orientation, HeadTailConsistency) {
+  const Graph g = gen::grid(3, 3);
+  Orientation o(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    o.orient_towards(e, g.edge_u(e));
+    EXPECT_EQ(o.head(e), g.edge_u(e));
+    EXPECT_EQ(o.tail(e), g.edge_v(e));
+    o.orient_towards(e, g.edge_v(e));
+    EXPECT_EQ(o.head(e), g.edge_v(e));
+    EXPECT_EQ(o.tail(e), g.edge_u(e));
+    o.clear(e);
+    EXPECT_FALSE(o.is_oriented(e));
+  }
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,121 @@
+#include "algo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(Partition, RingPartitionsInOneRound) {
+  // Every ring vertex has degree 2 <= A = threshold(a=2) >= 5, so all
+  // join H_1 immediately.
+  const auto result =
+      compute_h_partition(gen::ring(20), {.arboricity = 2});
+  EXPECT_EQ(result.num_sets, 1u);
+  EXPECT_TRUE(is_h_partition(gen::ring(20), result.hset, result.threshold));
+  EXPECT_EQ(result.metrics.worst_case(), 1u);
+}
+
+TEST(Partition, HPartitionPropertyHolds) {
+  for (std::size_t a : {1u, 2u, 4u}) {
+    for (double eps : {0.5, 1.0, 2.0}) {
+      const Graph g = gen::forest_union(400, a, 17);
+      const auto result =
+          compute_h_partition(g, {.arboricity = a, .epsilon = eps});
+      EXPECT_TRUE(is_h_partition(g, result.hset, result.threshold))
+          << "a=" << a << " eps=" << eps;
+    }
+  }
+}
+
+TEST(Partition, EveryVertexJoins) {
+  const Graph g = gen::erdos_renyi(1000, 4.0, 3);
+  const std::size_t a = arboricity_upper_bound(g);
+  const auto result = compute_h_partition(g, {.arboricity = a});
+  for (auto h : result.hset) EXPECT_GE(h, 1);
+}
+
+TEST(Partition, WorstCaseIsLogarithmic) {
+  // Number of H-sets is at most log_{(2+eps)/2} n + O(1).
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const Graph g = gen::forest_union(n, 2, 5);
+    const auto result =
+        compute_h_partition(g, {.arboricity = 2, .epsilon = 1.0});
+    const double bound = std::log(static_cast<double>(n)) /
+                             std::log((2.0 + 1.0) / 2.0) + 2.0;
+    EXPECT_LE(static_cast<double>(result.metrics.worst_case()), bound)
+        << n;
+  }
+}
+
+TEST(Partition, Lemma61Decay) {
+  // n_i <= (2/(2+eps))^(i-1) * n for every round i.
+  const std::size_t n = 4096;
+  const double eps = 1.0;
+  const Graph g = gen::forest_union(n, 3, 23);
+  const auto result =
+      compute_h_partition(g, {.arboricity = 3, .epsilon = eps});
+  const double ratio = 2.0 / (2.0 + eps);
+  double bound = static_cast<double>(n);
+  for (std::size_t i = 0; i < result.metrics.active_per_round.size();
+       ++i) {
+    EXPECT_LE(static_cast<double>(result.metrics.active_per_round[i]),
+              bound + 1e-9)
+        << "round " << i + 1;
+    bound *= ratio;
+  }
+}
+
+TEST(Partition, Theorem63VertexAveragedIsConstant) {
+  // RoundSum = O(n): the geometric series gives sum <= n*(2+eps)/eps.
+  for (std::size_t n : {512u, 2048u, 8192u}) {
+    const double eps = 1.0;
+    const Graph g = gen::forest_union(n, 2, 9);
+    const auto result =
+        compute_h_partition(g, {.arboricity = 2, .epsilon = eps});
+    EXPECT_LE(result.metrics.vertex_averaged(), (2.0 + eps) / eps + 1.0)
+        << n;
+  }
+}
+
+TEST(Partition, ThresholdFloor) {
+  // threshold is at least 2a+1 even for tiny epsilon * a.
+  PartitionParams p{.arboricity = 1, .epsilon = 0.1};
+  EXPECT_GE(p.threshold(), 3u);
+  PartitionParams q{.arboricity = 5, .epsilon = 2.0};
+  EXPECT_EQ(q.threshold(), 20u);
+}
+
+TEST(Partition, StarGraph) {
+  // Leaves (degree 1) join H_1; the center joins H_2 once leaves left.
+  const Graph g = gen::star(100);
+  const auto result = compute_h_partition(g, {.arboricity = 1});
+  EXPECT_EQ(result.hset[0], 2);
+  for (Vertex v = 1; v < 100; ++v) EXPECT_EQ(result.hset[v], 1);
+}
+
+class PartitionFamilies
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PartitionFamilies, PropertySweep) {
+  const auto [n, a] = GetParam();
+  const Graph g = gen::forest_union(n, a, n + a);
+  const auto result = compute_h_partition(g, {.arboricity = a});
+  EXPECT_TRUE(is_h_partition(g, result.hset, result.threshold));
+  EXPECT_LE(result.metrics.vertex_averaged(), 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionFamilies,
+    ::testing::Combine(::testing::Values(64, 256, 1024, 4096),
+                       ::testing::Values(1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/rand_a_loglog.hpp"
+#include "algo/rand_delta_plus1.hpp"
+#include "baseline/luby_mis.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(RandDeltaPlusOne, ProperWithDeltaPlusOne) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = gen::erdos_renyi(800, 6.0, seed);
+    const auto result = compute_rand_delta_plus1(g, seed);
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << seed;
+    EXPECT_LE(result.num_colors, g.max_degree() + 1);
+  }
+}
+
+TEST(RandDeltaPlusOne, Theorem91ConstantVertexAveraged) {
+  // VA must stay O(1) (small constant) across two orders of magnitude.
+  for (std::size_t n : {1024u, 16384u, 65536u}) {
+    const Graph g = gen::forest_union(n, 3, 7);
+    const auto result = compute_rand_delta_plus1(g, 99);
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << n;
+    // Each 2-round trial succeeds w.p. >= 1/4: VA <= 2 * 4 plus slack.
+    EXPECT_LE(result.metrics.vertex_averaged(), 12.0) << n;
+  }
+}
+
+TEST(RandDeltaPlusOne, Reproducible) {
+  const Graph g = gen::erdos_renyi(300, 5.0, 4);
+  const auto r1 = compute_rand_delta_plus1(g, 42);
+  const auto r2 = compute_rand_delta_plus1(g, 42);
+  EXPECT_EQ(r1.color, r2.color);
+}
+
+TEST(RandDeltaPlusOne, WorksOnCompleteGraph) {
+  const Graph g = gen::complete(40);
+  const auto result = compute_rand_delta_plus1(g, 5);
+  EXPECT_TRUE(is_proper_coloring(g, result.color));
+  EXPECT_EQ(result.num_colors, 40u);  // clique forces all Delta+1 colors
+}
+
+TEST(RandALogLog, ProperWithALogLogPalette) {
+  for (std::size_t a : {1u, 2u, 4u}) {
+    const Graph g = gen::forest_union(2048, a, 61);
+    const auto result = compute_rand_a_loglog(g, {.arboricity = a}, 11);
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << "a=" << a;
+    EXPECT_LE(result.num_colors, result.palette_bound);
+  }
+}
+
+TEST(RandALogLog, PaletteIsALogLogN) {
+  RandALogLogAlgo small(1024, {.arboricity = 2});
+  RandALogLogAlgo large(1 << 20, {.arboricity = 2});
+  // (t+1)(A+1) with t = floor(2 loglog n): grows only with loglog n.
+  EXPECT_LE(large.palette_bound(), small.palette_bound() * 3);
+}
+
+TEST(RandALogLog, Theorem92ConstantVertexAveraged) {
+  for (std::size_t n : {1024u, 16384u}) {
+    const Graph g = gen::forest_union(n, 2, 67);
+    const auto result = compute_rand_a_loglog(g, {.arboricity = 2}, 23);
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << n;
+    EXPECT_LE(result.metrics.vertex_averaged(), 16.0) << n;
+  }
+}
+
+TEST(RandALogLog, AdversarialTreeStillConstantVa) {
+  const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+  const Graph g = gen::dary_tree(65536, params.threshold() + 1);
+  const auto result = compute_rand_a_loglog(g, params, 31);
+  EXPECT_TRUE(is_proper_coloring(g, result.color));
+  // Worst case is driven by the phase-2 dataflow chain (log-ish), the
+  // average stays small.
+  EXPECT_LT(result.metrics.vertex_averaged(),
+            static_cast<double>(result.metrics.worst_case()));
+  EXPECT_LE(result.metrics.vertex_averaged(), 16.0);
+}
+
+TEST(LubyMis, ValidAndLogRounds) {
+  for (std::uint64_t seed : {1ULL, 9ULL}) {
+    const Graph g = gen::erdos_renyi(2000, 8.0, seed);
+    const auto result = compute_luby_mis(g, seed);
+    EXPECT_TRUE(is_mis(g, result.in_set)) << seed;
+    // O(log n) w.h.p. — generous cap (2 engine rounds per trial).
+    EXPECT_LE(result.metrics.worst_case(), 2u * 40u);
+  }
+}
+
+TEST(LubyMis, Reproducible) {
+  const Graph g = gen::forest_union(500, 3, 71);
+  const auto r1 = compute_luby_mis(g, 8);
+  const auto r2 = compute_luby_mis(g, 8);
+  EXPECT_EQ(r1.in_set, r2.in_set);
+}
+
+class RandSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(RandSweep, BothColoringsProper) {
+  const auto [n, a, seed] = GetParam();
+  const Graph g = gen::forest_union(n, a, seed * 131);
+  const auto r1 = compute_rand_delta_plus1(g, seed);
+  EXPECT_TRUE(is_proper_coloring(g, r1.color));
+  const auto r2 = compute_rand_a_loglog(g, {.arboricity = a}, seed);
+  EXPECT_TRUE(is_proper_coloring(g, r2.color));
+  EXPECT_TRUE(is_mis(g, compute_luby_mis(g, seed).in_set));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandSweep,
+    ::testing::Combine(::testing::Values(128, 1024),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace valocal

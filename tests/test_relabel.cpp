@@ -1,0 +1,87 @@
+#include "graph/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/coloring_a2logn.hpp"
+#include "algo/mis.hpp"
+#include "algo/partition.hpp"
+#include "algo/rings.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(Relabel, PreservesStructure) {
+  const Graph g = gen::forest_union(150, 3, 137);
+  const auto perm = random_permutation(150, 5);
+  const Graph h = relabel(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.max_degree(), g.max_degree());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_TRUE(h.has_edge(perm[g.edge_u(e)], perm[g.edge_v(e)]));
+}
+
+TEST(Relabel, RejectsNonPermutations) {
+  const Graph g = gen::path(3);
+  EXPECT_DEATH((void)relabel(g, {0, 0, 1}), "permutation");
+  EXPECT_DEATH((void)relabel(g, {0, 1}), "size mismatch");
+}
+
+TEST(Relabel, BitReversalIsAPermutation) {
+  const auto perm = bit_reversal_permutation(5);
+  std::vector<char> seen(32, 0);
+  for (Vertex p : perm) {
+    ASSERT_LT(p, 32u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = 1;
+  }
+  EXPECT_EQ(perm[1], 16u);  // 00001 -> 10000
+}
+
+TEST(AdversarialIds, GuaranteesHoldUnderEveryRelabeling) {
+  // Deterministic outputs depend on IDs; correctness must not.
+  const Graph base = gen::forest_union(300, 2, 139);
+  const PartitionParams params{.arboricity = 2};
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const Graph g = relabel(base, random_permutation(300, s));
+    const auto part = compute_h_partition(g, params);
+    EXPECT_TRUE(is_h_partition(g, part.hset, part.threshold)) << s;
+    const auto coloring = compute_coloring_a2logn(g, params);
+    EXPECT_TRUE(is_proper_coloring(g, coloring.color)) << s;
+    const auto mis = compute_mis(g, params);
+    EXPECT_TRUE(is_mis(g, mis.in_set)) << s;
+  }
+}
+
+TEST(AdversarialIds, PartitionVaIsIdInvariant) {
+  // Procedure Partition's join rule ignores IDs entirely, so its
+  // metrics must be identical under every relabeling.
+  const Graph base = gen::forest_union(400, 3, 149);
+  const auto reference = compute_h_partition(base, {.arboricity = 3});
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    const Graph g = relabel(base, random_permutation(400, s));
+    const auto part = compute_h_partition(g, {.arboricity = 3});
+    EXPECT_EQ(part.metrics.round_sum(), reference.metrics.round_sum())
+        << s;
+    EXPECT_EQ(part.metrics.worst_case(), reference.metrics.worst_case())
+        << s;
+  }
+}
+
+TEST(AdversarialIds, LeaderElectionVaVariesWithIds) {
+  // The measure maxes over assignments: sequential ids give VA O(1),
+  // bit-reversal ids give VA Theta(log n) on the same cycle topology.
+  const std::size_t log_n = 12;
+  const Graph sequential = gen::ring(1 << log_n);
+  const Graph adversarial =
+      relabel(sequential, bit_reversal_permutation(log_n));
+  const auto easy = compute_ring_leader_election(sequential);
+  const auto hard = compute_ring_leader_election(adversarial);
+  EXPECT_LT(easy.metrics.vertex_averaged(), 3.0);
+  EXPECT_GT(hard.metrics.vertex_averaged(), 4.0);
+  EXPECT_EQ(easy.metrics.worst_case(), hard.metrics.worst_case());
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,74 @@
+#include "algo/rings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/mathx.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(LeaderElection, ElectsExactlyTheMinimum) {
+  for (std::size_t n : {3u, 4u, 10u, 101u, 1024u}) {
+    const auto result = compute_ring_leader_election(gen::ring(n));
+    // The surviving candidate is the global minimum id.
+    EXPECT_EQ(result.leader, 0u) << n;
+  }
+}
+
+TEST(LeaderElection, Feuilloley12ExponentialGap) {
+  // [12]: VA O(log n) vs WC Theta(n). The leader itself must wait for
+  // its pointer chain to wrap the whole ring.
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    const auto result = compute_ring_leader_election(gen::ring(n));
+    EXPECT_GE(result.metrics.worst_case(), n / 2) << n;
+    EXPECT_LE(result.metrics.vertex_averaged(),
+              8.0 * std::log2(static_cast<double>(n)) + 8.0)
+        << n;
+  }
+}
+
+TEST(LeaderElection, CommittedRelaysAreNotChargedWaveRounds) {
+  const auto result = compute_ring_leader_election(gen::ring(512));
+  // Every non-leader committed long before the done wave: at least one
+  // vertex (a neighbor of the minimum) commits in the very first round.
+  std::size_t early = 0;
+  for (Vertex v = 0; v < 512; ++v)
+    if (result.metrics.rounds[v] <= 2) ++early;
+  EXPECT_GE(early, 2u);
+}
+
+TEST(RingColoring3, ProperThreeColoring) {
+  for (std::size_t n : {3u, 4u, 5u, 6u, 7u, 64u, 1000u, 65536u}) {
+    const Graph g = gen::ring(n);
+    const auto result = compute_ring_3coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, result.color)) << n;
+    EXPECT_LE(result.num_colors, 3u) << n;
+  }
+}
+
+TEST(RingColoring3, NegativeResultVaEqualsWorstCase) {
+  // [12]'s negative result, the paper's Section 3 motivation: for
+  // O(1)-coloring of rings the vertex-averaged complexity cannot beat
+  // the worst case — everyone runs the full log* n schedule.
+  for (std::size_t n : {256u, 65536u}) {
+    const auto result = compute_ring_3coloring(gen::ring(n));
+    EXPECT_DOUBLE_EQ(result.metrics.vertex_averaged(),
+                     static_cast<double>(result.metrics.worst_case()))
+        << n;
+  }
+}
+
+TEST(RingColoring3, LogStarRounds) {
+  const auto small = compute_ring_3coloring(gen::ring(64));
+  const auto large = compute_ring_3coloring(gen::ring(1 << 16));
+  // log*-type growth: doubling the exponent adds O(1) rounds.
+  EXPECT_LE(large.metrics.worst_case(),
+            small.metrics.worst_case() + 3);
+}
+
+}  // namespace
+}  // namespace valocal

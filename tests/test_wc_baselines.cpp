@@ -1,0 +1,64 @@
+#include "baseline/wc_edge_mm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/be08_arb_color.hpp"
+#include "baseline/wc_delta_plus1.hpp"
+#include "graph/generators.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal {
+namespace {
+
+TEST(WcEdgeColoring, ProperWithTwoDeltaMinusOne) {
+  for (std::uint64_t seed : {1ULL, 5ULL}) {
+    const Graph g = gen::erdos_renyi(300, 6.0, seed);
+    const auto result = compute_wc_edge_coloring(g);
+    EXPECT_TRUE(is_proper_edge_coloring(g, result.color)) << seed;
+    EXPECT_LE(result.num_colors, 2 * g.max_degree() - 1);
+    EXPECT_DOUBLE_EQ(result.metrics.vertex_averaged(),
+                     static_cast<double>(result.metrics.worst_case()));
+  }
+}
+
+TEST(WcEdgeColoring, TinyGraphs) {
+  const Graph pair(2, {{0, 1}});
+  const auto result = compute_wc_edge_coloring(pair);
+  EXPECT_TRUE(is_proper_edge_coloring(pair, result.color));
+  const Graph g = gen::star(5);
+  const auto star = compute_wc_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(g, star.color));
+}
+
+TEST(WcMatching, MaximalAndRunToCompletion) {
+  for (std::uint64_t seed : {2ULL, 7ULL}) {
+    const Graph g = gen::forest_union(400, 3, seed);
+    const auto result = compute_wc_matching(g);
+    EXPECT_TRUE(is_maximal_matching(g, result.in_matching)) << seed;
+    EXPECT_DOUBLE_EQ(result.metrics.vertex_averaged(),
+                     static_cast<double>(result.metrics.worst_case()));
+  }
+}
+
+TEST(WcBaselines, RoundsScaleWithDeltaNotN) {
+  // Fixed-degree family: the schedule is Delta log Delta + log* terms.
+  const auto small = compute_wc_edge_coloring(gen::dary_tree(256, 3));
+  const auto large = compute_wc_edge_coloring(gen::dary_tree(8192, 3));
+  EXPECT_LE(large.metrics.worst_case(),
+            small.metrics.worst_case() + 6);
+}
+
+TEST(WcBaselines, AllFourBaselinesAreVaEqualsWc) {
+  const Graph g = gen::forest_union(300, 2, 11);
+  const auto a = compute_be08_arb_color(g, {.arboricity = 2});
+  const auto b = compute_wc_delta_plus1(g);
+  const auto c = compute_wc_edge_coloring(g);
+  const auto d = compute_wc_matching(g);
+  for (const Metrics* m :
+       {&a.metrics, &b.metrics, &c.metrics, &d.metrics})
+    EXPECT_DOUBLE_EQ(m->vertex_averaged(),
+                     static_cast<double>(m->worst_case()));
+}
+
+}  // namespace
+}  // namespace valocal

@@ -1,0 +1,256 @@
+// valocal_cli — run any algorithm of the library on any generated or
+// loaded graph and print the vertex-averaged / worst-case metrics.
+//
+//   valocal_cli --gen forest --n 10000 --a 3 --algo mis
+//   valocal_cli --gen adversarial --n 65536 --algo a2logn --eps 2
+//   valocal_cli --input graph.txt --algo delta_plus1 --dot out.dot
+//
+// Flags:
+//   --gen      ring|path|grid|tree|forest|star|star_union|er|ba|
+//              hypercube|adversarial          (default forest)
+//   --input    edge-list file (overrides --gen)
+//   --n        vertex count                    (default 4096)
+//   --a        declared arboricity             (default 2)
+//   --k        segmentation parameter, 0=rho(n)
+//   --eps      Procedure Partition epsilon     (default 1.0)
+//   --seed     generator / algorithm seed      (default 1)
+//   --avg-deg  Erdos-Renyi average degree      (default 4)
+//   --algo     partition|general_partition|forest_decomp|a2logn|a2|oa|
+//              ka|ka2|one_plus_eta|delta_plus1|mis|edge_coloring|
+//              matching|rand_delta_plus1|rand_a_loglog|luby|be08|
+//              wc_delta|leader|ring3           (default a2logn)
+//   --dot      write a DOT rendering (vertex colorings only)
+//   --perm     relabel the graph's IDs before running: "random" or a
+//              seed value (the VA measure maxes over ID assignments)
+//   --decay-csv  write the active-population decay series to a file
+#include <fstream>
+#include <iostream>
+
+#include "algo/coloring_a2.hpp"
+#include "algo/coloring_a2logn.hpp"
+#include "algo/coloring_ka.hpp"
+#include "algo/coloring_ka2.hpp"
+#include "algo/coloring_oa.hpp"
+#include "algo/delta_plus1.hpp"
+#include "algo/edge_coloring.hpp"
+#include "algo/forest_decomposition.hpp"
+#include "algo/general_partition.hpp"
+#include "algo/matching.hpp"
+#include "algo/mis.hpp"
+#include "algo/one_plus_eta.hpp"
+#include "algo/partition.hpp"
+#include "algo/rand_a_loglog.hpp"
+#include "algo/rand_delta_plus1.hpp"
+#include "algo/rings.hpp"
+#include "baseline/be08_arb_color.hpp"
+#include "baseline/luby_mis.hpp"
+#include "baseline/wc_delta_plus1.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/relabel.hpp"
+#include "sim/metrics_io.hpp"
+#include "util/cli.hpp"
+#include "validate/validate.hpp"
+
+namespace {
+
+using namespace valocal;
+
+Graph make_graph(const CliArgs& args) {
+  if (args.has("input")) return load_edge_list(args.get_string("input", ""));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 4096));
+  const auto a = static_cast<std::size_t>(args.get_int("a", 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string gen = args.get_string("gen", "forest");
+  if (gen == "ring") return gen::ring(n);
+  if (gen == "path") return gen::path(n);
+  if (gen == "grid") {
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    return gen::grid(side, side);
+  }
+  if (gen == "tree") return gen::random_tree(n, seed);
+  if (gen == "forest") return gen::forest_union(n, a, seed);
+  if (gen == "star") return gen::star(n);
+  if (gen == "star_union") return gen::star_union(n, 8);
+  if (gen == "er")
+    return gen::erdos_renyi(n, args.get_double("avg-deg", 4.0), seed);
+  if (gen == "ba") return gen::barabasi_albert(n, std::max<std::size_t>(1, a), seed);
+  if (gen == "hypercube") {
+    std::size_t dim = 1;
+    while ((std::size_t{1} << dim) < n) ++dim;
+    return gen::hypercube(dim);
+  }
+  if (gen == "adversarial") {
+    const PartitionParams p{.arboricity = a,
+                            .epsilon = args.get_double("eps", 1.0)};
+    return gen::dary_tree(n, p.threshold() + 1);
+  }
+  std::cerr << "unknown generator: " << gen << "\n";
+  std::exit(2);
+}
+
+std::string g_decay_csv_path;  // set from --decay-csv
+
+void print_metrics(const Metrics& m) {
+  std::cout << "rounds: vertex-averaged=" << m.vertex_averaged()
+            << " worst-case=" << m.worst_case()
+            << " round-sum=" << m.round_sum() << "\n";
+  if (!g_decay_csv_path.empty()) {
+    std::ofstream os(g_decay_csv_path);
+    write_decay_csv(os, m);
+    std::cout << "decay series written to " << g_decay_csv_path << "\n";
+  }
+}
+
+void maybe_dot(const CliArgs& args, const Graph& g,
+               const std::vector<int>& color) {
+  if (!args.has("dot")) return;
+  std::ofstream os(args.get_string("dot", ""));
+  write_dot(os, g, &color);
+}
+
+int report_coloring(const CliArgs& args, const Graph& g,
+                    const ColoringResult& r, const char* name) {
+  const bool ok = is_proper_coloring(g, r.color);
+  std::cout << name << ": colors=" << r.num_colors << " (palette "
+            << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
+            << "\n";
+  print_metrics(r.metrics);
+  maybe_dot(args, g, r.color);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
+                    "avg-deg", "algo", "dot", "perm", "decay-csv"});
+
+  Graph g = make_graph(args);
+  if (args.has("perm")) {
+    const auto perm_seed = static_cast<std::uint64_t>(
+        args.get_int("perm", 0));
+    g = relabel(g, random_permutation(g.num_vertices(), perm_seed));
+  }
+  const auto a = static_cast<std::size_t>(args.get_int("a", 2));
+  const PartitionParams params{.arboricity = a,
+                               .epsilon = args.get_double("eps", 1.0)};
+  const int k = static_cast<int>(args.get_int("k", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string algo = args.get_string("algo", "a2logn");
+  g_decay_csv_path = args.get_string("decay-csv", "");
+
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree()
+            << " degeneracy=" << degeneracy(g) << "\n";
+
+  if (algo == "partition") {
+    const auto r = compute_h_partition(g, params);
+    std::cout << "partition: " << r.num_sets << " H-sets, valid="
+              << (is_h_partition(g, r.hset, r.threshold) ? "yes" : "NO")
+              << "\n";
+    print_metrics(r.metrics);
+    return 0;
+  }
+  if (algo == "general_partition") {
+    const auto r = compute_general_partition(g, params.epsilon);
+    std::cout << "general partition: " << r.num_sets
+              << " H-sets, estimate a~" << r.arboricity_estimate
+              << ", valid="
+              << (is_h_partition(g, r.hset, r.effective_threshold)
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    print_metrics(r.metrics);
+    return 0;
+  }
+  if (algo == "forest_decomp") {
+    const auto r = compute_forest_decomposition(g, params);
+    std::cout << "forests: " << r.decomposition.num_forests << " valid="
+              << (is_forest_decomposition(g, r.decomposition.orientation,
+                                          r.decomposition.label,
+                                          r.decomposition.num_forests)
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    print_metrics(r.metrics);
+    return 0;
+  }
+  if (algo == "a2logn")
+    return report_coloring(args, g, compute_coloring_a2logn(g, params),
+                           "a2logn");
+  if (algo == "a2")
+    return report_coloring(args, g, compute_coloring_a2(g, params), "a2");
+  if (algo == "oa")
+    return report_coloring(args, g, compute_coloring_oa(g, params), "oa");
+  if (algo == "ka")
+    return report_coloring(args, g, compute_coloring_ka(g, params, k),
+                           "ka");
+  if (algo == "ka2")
+    return report_coloring(args, g, compute_coloring_ka2(g, params, k),
+                           "ka2");
+  if (algo == "one_plus_eta")
+    return report_coloring(args, g,
+                           compute_one_plus_eta(g, {.arboricity = a}),
+                           "one_plus_eta");
+  if (algo == "delta_plus1")
+    return report_coloring(args, g, compute_delta_plus1(g, params),
+                           "delta_plus1");
+  if (algo == "rand_delta_plus1")
+    return report_coloring(args, g, compute_rand_delta_plus1(g, seed),
+                           "rand_delta_plus1");
+  if (algo == "rand_a_loglog")
+    return report_coloring(args, g,
+                           compute_rand_a_loglog(g, params, seed),
+                           "rand_a_loglog");
+  if (algo == "be08")
+    return report_coloring(args, g, compute_be08_arb_color(g, params),
+                           "be08 (run to completion)");
+  if (algo == "wc_delta")
+    return report_coloring(args, g, compute_wc_delta_plus1(g),
+                           "wc_delta_plus1 (run to completion)");
+  if (algo == "mis") {
+    const auto r = compute_mis(g, params);
+    std::cout << "MIS valid=" << (is_mis(g, r.in_set) ? "yes" : "NO")
+              << "\n";
+    print_metrics(r.metrics);
+    return is_mis(g, r.in_set) ? 0 : 1;
+  }
+  if (algo == "luby") {
+    const auto r = compute_luby_mis(g, seed);
+    std::cout << "Luby MIS valid="
+              << (is_mis(g, r.in_set) ? "yes" : "NO") << "\n";
+    print_metrics(r.metrics);
+    return is_mis(g, r.in_set) ? 0 : 1;
+  }
+  if (algo == "edge_coloring") {
+    const auto r = compute_edge_coloring(g, params);
+    const bool ok = is_proper_edge_coloring(g, r.color);
+    std::cout << "edge coloring: colors=" << r.num_colors << " (palette "
+              << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
+              << "\n";
+    print_metrics(r.metrics);
+    return ok ? 0 : 1;
+  }
+  if (algo == "matching") {
+    const auto r = compute_matching(g, params);
+    const bool ok = is_maximal_matching(g, r.in_matching);
+    std::cout << "matching maximal=" << (ok ? "yes" : "NO") << "\n";
+    print_metrics(r.metrics);
+    return ok ? 0 : 1;
+  }
+  if (algo == "leader") {
+    const auto r = compute_ring_leader_election(g);
+    std::cout << "leader=" << r.leader << "\n";
+    print_metrics(r.metrics);
+    return 0;
+  }
+  if (algo == "ring3")
+    return report_coloring(args, g, compute_ring_3coloring(g), "ring3");
+
+  std::cerr << "unknown algorithm: " << algo << "\n";
+  return 2;
+}
