@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -14,9 +15,28 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network.hpp"
 #include "util/table.hpp"
 
 namespace valocal::bench {
+
+/// Installs the engine-wide worker-thread default from VALOCAL_THREADS
+/// (unset/empty/0 = 1, serial) and returns it. Benches call this first
+/// thing in main() so every compute_* under a Table 1/Table 2 sweep
+/// exploits the parallel round engine; results are byte-identical for
+/// every value, so the tables themselves never change.
+inline std::size_t configure_engine_threads() {
+  std::size_t threads = 1;
+  if (const char* env = std::getenv("VALOCAL_THREADS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) threads = static_cast<std::size_t>(parsed);
+  }
+  set_engine_threads(threads);
+  if (threads > 1)
+    std::cout << "[engine: " << threads << " worker threads]\n";
+  return threads;
+}
 
 /// The adversarial workload matching the paper's partition lower
 /// bounds: the complete (A+1)-ary tree, which Procedure Partition peels

@@ -9,6 +9,21 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# ThreadSanitizer job: rebuild the round engine's suites with
+# -DVALOCAL_SANITIZE=thread and run them (the parallel-engine tests use
+# num_threads up to 8 internally), racing-checking the engine before
+# the benches rely on it. Skipped gracefully where libtsan is absent.
+if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /tmp/valocal_tsan_probe 2>/dev/null; then
+  rm -f /tmp/valocal_tsan_probe
+  cmake -B build-tsan -G Ninja -DVALOCAL_SANITIZE=thread
+  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox' \
+    2>&1 | tee tsan_output.txt
+else
+  echo "ThreadSanitizer unavailable; skipping TSan job" | tee tsan_output.txt
+fi
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

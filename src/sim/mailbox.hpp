@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -132,8 +133,18 @@ MailboxRunResult<A> run_mailbox(const Graph& g, const A& algo,
   std::size_t round = 0;
   while (!active.empty()) {
     ++round;
-    VALOCAL_ENSURE(round <= cap,
-                   "round cap exceeded: non-terminating mailbox run");
+    if (round > cap) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "round cap exceeded: round %llu with %llu vertices "
+                    "still active (cap %llu) — non-terminating "
+                    "mailbox run?",
+                    static_cast<unsigned long long>(round),
+                    static_cast<unsigned long long>(active.size()),
+                    static_cast<unsigned long long>(cap));
+      detail::contract_failure("invariant", "round <= cap", __FILE__,
+                               __LINE__, msg);
+    }
     result.metrics.active_per_round.push_back(active.size());
 
     still_active.clear();

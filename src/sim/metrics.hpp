@@ -18,6 +18,12 @@ namespace valocal {
 struct Metrics {
   std::vector<std::uint32_t> rounds;            // r(v), size n
   std::vector<std::size_t> active_per_round;    // n_i for i = 1..T
+  // Engine-measured wall-clock of each simulated round, in
+  // nanoseconds (size T when produced by run_local). Unlike `rounds`
+  // and `active_per_round` this is NOT part of the determinism
+  // contract: it varies run to run and with the thread count — it
+  // exists precisely so parallel-engine speedups are observable.
+  std::vector<std::uint64_t> round_wall_ns;
 
   std::uint64_t round_sum() const {
     std::uint64_t s = 0;
@@ -35,6 +41,12 @@ struct Metrics {
     std::size_t m = 0;
     for (auto r : rounds) m = m > r ? m : r;
     return m;
+  }
+
+  std::uint64_t total_wall_ns() const {
+    std::uint64_t s = 0;
+    for (auto ns : round_wall_ns) s += ns;
+    return s;
   }
 };
 

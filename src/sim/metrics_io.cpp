@@ -26,8 +26,20 @@ void write_rounds_histogram_csv(std::ostream& os,
     ++histogram[r];
   }
   os << "rounds,count\n";
-  for (std::size_t r = 1; r < histogram.size(); ++r)
+  // Bucket 0 included: dropping it silently broke the "counts sum to
+  // n" invariant whenever a metrics object carried zero-round entries.
+  for (std::size_t r = 0; r < histogram.size(); ++r)
     if (histogram[r] > 0) os << r << ',' << histogram[r] << '\n';
+}
+
+void write_round_timings_csv(std::ostream& os, const Metrics& metrics) {
+  os << "round,active,wall_ns\n";
+  for (std::size_t i = 0; i < metrics.active_per_round.size(); ++i) {
+    const std::uint64_t ns =
+        i < metrics.round_wall_ns.size() ? metrics.round_wall_ns[i] : 0;
+    os << i + 1 << ',' << metrics.active_per_round[i] << ',' << ns
+       << '\n';
+  }
 }
 
 }  // namespace valocal

@@ -15,7 +15,13 @@ void write_decay_csv(std::ostream& os, const Metrics& metrics);
 /// "vertex,rounds\n0,3\n..." — per-vertex running times.
 void write_rounds_csv(std::ostream& os, const Metrics& metrics);
 
-/// "rounds,count\n1,512\n..." — the r(v) histogram.
+/// "rounds,count\n1,512\n..." — the r(v) histogram. Every non-empty
+/// bucket is emitted, including bucket 0, so counts always sum to n.
 void write_rounds_histogram_csv(std::ostream& os, const Metrics& metrics);
+
+/// "round,active,wall_ns\n1,1000,52340\n..." — per-round active
+/// population alongside the engine-measured wall-clock (run_local's
+/// round_wall_ns; 0 when the metrics carry no timing data).
+void write_round_timings_csv(std::ostream& os, const Metrics& metrics);
 
 }  // namespace valocal

@@ -35,8 +35,11 @@
 // exposes neighbor access.
 #pragma once
 
+#include <chrono>
 #include <concepts>
 #include <cstdint>
+#include <cstdio>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -46,6 +49,7 @@
 #include "sim/metrics.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace valocal {
 
@@ -123,11 +127,41 @@ concept LocalAlgorithm = requires(const A a, Vertex v, const Graph& g,
   { a.output(v, s) } -> std::same_as<typename A::Output>;
 };
 
+/// Process-wide default worker-thread count for run_local, used by runs
+/// whose RunOptions::num_threads is 0 ("inherit"). Initially 1 (serial).
+/// Because the engine's results are byte-identical for every thread
+/// count, raising this changes wall-clock only — tools/benches set it
+/// once (e.g. from --threads / VALOCAL_THREADS) and every compute_*
+/// entry point below them exploits it.
+inline std::size_t& detail_engine_threads() {
+  static std::size_t threads = 1;
+  return threads;
+}
+
+inline void set_engine_threads(std::size_t num_threads) {
+  detail_engine_threads() = num_threads == 0 ? 1 : num_threads;
+}
+
+inline std::size_t engine_threads() { return detail_engine_threads(); }
+
 struct RunOptions {
   std::uint64_t seed = 0x5eedULL;
-  /// Hard cap on rounds; 0 = automatic (generous) bound. Exceeding the
-  /// cap aborts: every algorithm in this library must terminate.
+  /// Hard cap on rounds; 0 = automatic generous bound (64n + 100000).
+  /// Every algorithm in this library must terminate, so exceeding the
+  /// cap aborts — with a diagnostic reporting the round number and the
+  /// number of still-active vertices, to make the runaway findable.
   std::size_t max_rounds = 0;
+  /// Worker threads for the round loop. 1 = the serial engine;
+  /// 0 = inherit the process-wide default (set_engine_threads(),
+  /// initially 1). Outputs and semantic Metrics (rounds,
+  /// active_per_round) are byte-identical for every value — vertices
+  /// are stepped against the previous round's double buffer with
+  /// per-vertex RNG streams, and all per-round reductions are merged
+  /// in deterministic vertex order.
+  std::size_t num_threads = 0;
+  /// Vertices per parallel work chunk; 0 = automatic. Purely a
+  /// scheduling knob: any value yields identical results.
+  std::size_t grain = 0;
 };
 
 template <LocalAlgorithm A>
@@ -138,10 +172,27 @@ struct RunResult {
 };
 
 /// Runs `algo` on `g` to completion and returns outputs plus metrics.
+///
+/// Determinism contract. For fixed (graph, algorithm, seed), outputs,
+/// final_states, Metrics::rounds, and Metrics::active_per_round are
+/// byte-identical for every num_threads/grain combination: each active
+/// vertex is stepped exactly once per round against the previous
+/// round's double buffer with its own RNG stream, per-chunk staging
+/// buffers are merged in ascending-vertex order, and all per-vertex
+/// stamps (r(v), committed outputs) live in disjoint slots. Only
+/// Metrics::round_wall_ns (measured time) varies between runs.
+///
+/// Output freezing. The first round in which a vertex returns kCommit
+/// or kTerminate fixes BOTH r(v) and its output: the engine snapshots
+/// algo.output(v, ·) on that round's staged state. A committed vertex
+/// may keep computing and relaying (kCommit), but nothing it does
+/// afterwards can alter the recorded output.
 template <LocalAlgorithm A>
 RunResult<A> run_local(const Graph& g, const A& algo,
                        RunOptions opt = {}) {
   using State = typename A::State;
+  using Output = typename A::Output;
+  using Clock = std::chrono::steady_clock;
   const std::size_t n = g.num_vertices();
 
   RunResult<A> result;
@@ -159,48 +210,113 @@ RunResult<A> run_local(const Graph& g, const A& algo,
 
   const std::size_t cap =
       opt.max_rounds != 0 ? opt.max_rounds : 64 * n + 100000;
+  const std::size_t num_threads =
+      opt.num_threads != 0 ? opt.num_threads : engine_threads();
 
-  // Staged updates keep per-round cost proportional to the number of
-  // *active* vertices — the quantity the paper's RoundSum counts.
-  std::vector<std::pair<Vertex, State>> staged;
+  // Outputs snapshotted at commit/terminate time (see contract above).
+  std::vector<std::optional<Output>> committed(n);
+
+  // Steps vertex v of `round`, staging its next state and (if it stays
+  // live) its id into the caller-provided buffers. Reads the shared
+  // double buffer `cur`; writes only v's own rng/rounds/committed
+  // slots — safe to run concurrently for distinct vertices.
+  auto step_vertex = [&](Vertex v, std::size_t round,
+                         std::vector<std::pair<Vertex, State>>& staged,
+                         std::vector<Vertex>& still_active) {
+    RoundView<State> view(g, {cur.data(), cur.size()}, v);
+    State next = cur[v];
+    StepResult verdict;
+    if constexpr (std::is_same_v<decltype(algo.step(v, round, view, next,
+                                                    rng[v])),
+                                 bool>) {
+      verdict = algo.step(v, round, view, next, rng[v])
+                    ? StepResult::kTerminate
+                    : StepResult::kContinue;
+    } else {
+      verdict = algo.step(v, round, view, next, rng[v]);
+    }
+    if (verdict != StepResult::kContinue && !committed[v]) {
+      result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
+      committed[v].emplace(algo.output(v, next));
+    }
+    staged.emplace_back(v, std::move(next));
+    if (verdict != StepResult::kTerminate) still_active.push_back(v);
+  };
+
+  ThreadPool pool(num_threads);
+  // Per-chunk staging: chunk c covers active[c*grain, (c+1)*grain).
+  // Staged states keep per-round cost proportional to the number of
+  // *active* vertices — the quantity the paper's RoundSum counts — and
+  // give the parallel path its deterministic merge order.
+  std::vector<std::vector<std::pair<Vertex, State>>> chunk_staged;
+  std::vector<std::vector<Vertex>> chunk_active;
   std::vector<Vertex> still_active;
 
   std::size_t round = 0;
   while (!active.empty()) {
     ++round;
-    VALOCAL_ENSURE(round <= cap, "round cap exceeded: non-terminating run");
-    result.metrics.active_per_round.push_back(active.size());
-
-    staged.clear();
-    still_active.clear();
-    staged.reserve(active.size());
-    for (Vertex v : active) {
-      RoundView<State> view(g, {cur.data(), cur.size()}, v);
-      State next = cur[v];
-      StepResult verdict;
-      if constexpr (std::is_same_v<decltype(algo.step(v, round, view,
-                                                      next, rng[v])),
-                                   bool>) {
-        verdict = algo.step(v, round, view, next, rng[v])
-                      ? StepResult::kTerminate
-                      : StepResult::kContinue;
-      } else {
-        verdict = algo.step(v, round, view, next, rng[v]);
-      }
-      staged.emplace_back(v, std::move(next));
-      if (verdict != StepResult::kContinue &&
-          result.metrics.rounds[v] == 0) {
-        result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
-      }
-      if (verdict != StepResult::kTerminate) still_active.push_back(v);
+    if (round > cap) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "round cap exceeded: round %llu with %llu vertices "
+                    "still active (cap %llu) — non-terminating run?",
+                    static_cast<unsigned long long>(round),
+                    static_cast<unsigned long long>(active.size()),
+                    static_cast<unsigned long long>(cap));
+      detail::contract_failure("invariant", "round <= cap", __FILE__,
+                               __LINE__, msg);
     }
-    for (auto& [v, s] : staged) cur[v] = std::move(s);
+    result.metrics.active_per_round.push_back(active.size());
+    const auto round_start = Clock::now();
+
+    // Chunk size only shapes the schedule, never the result; the
+    // automatic choice aims for a few chunks per worker so dynamic
+    // claiming absorbs per-chunk load imbalance.
+    const std::size_t grain =
+        opt.grain != 0
+            ? opt.grain
+            : std::max<std::size_t>(
+                  64, (active.size() + 4 * num_threads - 1) /
+                          (4 * num_threads));
+    const std::size_t num_chunks = (active.size() + grain - 1) / grain;
+    if (chunk_staged.size() < num_chunks) {
+      chunk_staged.resize(num_chunks);
+      chunk_active.resize(num_chunks);
+    }
+
+    pool.parallel_for_chunks(
+        active.size(), grain,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          auto& staged = chunk_staged[chunk];
+          auto& still = chunk_active[chunk];
+          staged.clear();
+          still.clear();
+          staged.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i)
+            step_vertex(active[i], round, staged, still);
+        });
+
+    // Deterministic merge: chunks in index order reproduce exactly the
+    // serial ascending-vertex iteration.
+    still_active.clear();
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (auto& [v, s] : chunk_staged[c]) cur[v] = std::move(s);
+      still_active.insert(still_active.end(), chunk_active[c].begin(),
+                          chunk_active[c].end());
+    }
     active.swap(still_active);
+
+    result.metrics.round_wall_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - round_start)
+            .count()));
   }
 
   result.outputs.reserve(n);
   for (Vertex v = 0; v < n; ++v)
-    result.outputs.push_back(algo.output(v, cur[v]));
+    result.outputs.push_back(committed[v]
+                                 ? std::move(*committed[v])
+                                 : algo.output(v, cur[v]));
   result.final_states = std::move(cur);
   return result;
 }

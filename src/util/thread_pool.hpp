@@ -1,0 +1,81 @@
+// Small reusable fork-join thread pool for the round engine.
+//
+// The pool exists to parallelize one shape of work: a chunked
+// parallel-for over an index range, repeated many times (once per
+// round) with negligible per-dispatch overhead. Chunks are claimed
+// dynamically — any worker may execute any chunk, in any order — but
+// every chunk is identified by its index, so a caller that writes
+// results into per-chunk slots and merges them in index order obtains
+// a result that is independent of the actual schedule. That is the
+// determinism contract run_local builds on.
+//
+// Workers persist across calls (created once, parked on a condition
+// variable between jobs); the calling thread participates in every
+// job, so ThreadPool(1) spawns no threads at all and degenerates to a
+// plain loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace valocal {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total concurrency, caller included: the pool
+  /// spawns num_threads - 1 workers (0 and 1 are both "no workers").
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Splits [0, total) into consecutive chunks of `grain` indices and
+  /// invokes fn(chunk_index, begin, end) exactly once per chunk
+  /// (chunk_index = begin / grain). Blocks until every chunk has run;
+  /// the calling thread participates. Not reentrant and not
+  /// thread-safe: one job at a time, dispatched from one thread.
+  void parallel_for_chunks(
+      std::size_t total, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>&
+          fn);
+
+ private:
+  // One fork-join dispatch. Workers copy the shared_ptr under the pool
+  // mutex, then claim chunks lock-free; a worker that wakes late simply
+  // finds `next` exhausted. Each Job owns its counters, so a straggler
+  // from generation g can never consume indices of generation g+1.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+    std::size_t total = 0;
+    std::size_t grain = 1;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> chunks_done{0};
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of `job`; returns true if this call
+  /// completed the job (ran its final outstanding chunk).
+  bool run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // dispatcher waits for completion
+  std::shared_ptr<Job> job_;         // guarded by mutex_
+  std::uint64_t generation_ = 0;     // guarded by mutex_
+  bool stop_ = false;                // guarded by mutex_
+};
+
+}  // namespace valocal

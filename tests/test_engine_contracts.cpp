@@ -31,6 +31,24 @@ TEST(EngineContracts, RoundCapAborts) {
       "round cap");
 }
 
+// Regression: the cap used to abort with a bare message; the
+// diagnostic must now name the round reached and the size of the
+// still-active set, so runaway algorithms are findable.
+TEST(EngineContracts, RoundCapDiagnosticReportsRoundAndActiveCount) {
+  const Graph g = gen::ring(4);
+  EXPECT_DEATH(
+      (void)run_local(g, NeverTerminates{}, {.max_rounds = 50}),
+      "round 51 with 4 vertices still active \\(cap 50\\)");
+}
+
+TEST(EngineContracts, RoundCapAbortsUnderParallelEngine) {
+  const Graph g = gen::ring(4);
+  EXPECT_DEATH((void)run_local(g, NeverTerminates{},
+                               {.max_rounds = 50, .num_threads = 2,
+                                .grain = 1}),
+               "round 51 with 4 vertices still active");
+}
+
 struct MailboxNeverTerminates {
   struct State {
     int x = 0;

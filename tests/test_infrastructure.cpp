@@ -109,8 +109,9 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::num(-7), "-7");
 }
 
-// kCommit freezes r(v) but keeps the vertex executing; kTerminate later
-// must not overwrite the committed round.
+// kCommit freezes r(v) AND the output but keeps the vertex executing;
+// kTerminate later must overwrite neither the committed round nor the
+// committed output (outputs are snapshotted at commit time).
 struct CommitThenStop {
   struct State {
     int ticks = 0;
@@ -133,9 +134,10 @@ struct CommitThenStop {
 TEST(Engine, CommitFreezesRoundsButKeepsRunning) {
   const Graph g = gen::path(2);
   const auto result = run_local(g, CommitThenStop{});
-  EXPECT_EQ(result.metrics.rounds[0], 2u);   // frozen at commit
+  EXPECT_EQ(result.metrics.rounds[0], 2u);      // frozen at commit
   EXPECT_EQ(result.metrics.rounds[1], 3u);
-  EXPECT_EQ(result.outputs[0], 5);           // but it executed 5 rounds
+  EXPECT_EQ(result.outputs[0], 2);              // snapshot at commit...
+  EXPECT_EQ(result.final_states[0].ticks, 5);   // ...yet it ran 5 rounds
   EXPECT_EQ(result.outputs[1], 3);
 }
 

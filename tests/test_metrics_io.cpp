@@ -29,6 +29,32 @@ TEST(MetricsIo, RoundsCsvAndHistogram) {
   EXPECT_EQ(hist.str(), "rounds,count\n1,1\n2,1\n3,2\n");
 }
 
+// Regression: the histogram used to start at r = 1, silently dropping
+// zero-round entries — the column no longer summed to n.
+TEST(MetricsIo, HistogramKeepsBucketZero) {
+  Metrics m;
+  m.rounds = {0, 0, 2, 1, 0};
+  std::ostringstream hist;
+  write_rounds_histogram_csv(hist, m);
+  EXPECT_EQ(hist.str(), "rounds,count\n0,3\n1,1\n2,1\n");  // 3+1+1 = n
+}
+
+TEST(MetricsIo, RoundTimingsCsv) {
+  Metrics m;
+  m.active_per_round = {4, 2};
+  m.round_wall_ns = {100, 50};
+  std::ostringstream os;
+  write_round_timings_csv(os, m);
+  EXPECT_EQ(os.str(), "round,active,wall_ns\n1,4,100\n2,2,50\n");
+  // Hand-built metrics without timing data degrade to zeros rather
+  // than misaligning rows.
+  Metrics untimed;
+  untimed.active_per_round = {3};
+  std::ostringstream os2;
+  write_round_timings_csv(os2, untimed);
+  EXPECT_EQ(os2.str(), "round,active,wall_ns\n1,3,0\n");
+}
+
 TEST(MetricsIo, RealExecutionRoundTrips) {
   const Graph g = gen::forest_union(200, 2, 191);
   const auto result = compute_h_partition(g, {.arboricity = 2});

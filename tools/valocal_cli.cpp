@@ -22,7 +22,10 @@
 //   --dot      write a DOT rendering (vertex colorings only)
 //   --perm     relabel the graph's IDs before running: "random" or a
 //              seed value (the VA measure maxes over ID assignments)
-//   --decay-csv  write the active-population decay series to a file
+//   --threads  engine worker threads (default 1; results are
+//              byte-identical for every value — see docs/MODEL.md)
+//   --decay-csv    write the active-population decay series to a file
+//   --timings-csv  write per-round active counts + wall-clock to a file
 #include <fstream>
 #include <iostream>
 
@@ -91,16 +94,24 @@ Graph make_graph(const CliArgs& args) {
   std::exit(2);
 }
 
-std::string g_decay_csv_path;  // set from --decay-csv
+std::string g_decay_csv_path;    // set from --decay-csv
+std::string g_timings_csv_path;  // set from --timings-csv
 
 void print_metrics(const Metrics& m) {
   std::cout << "rounds: vertex-averaged=" << m.vertex_averaged()
             << " worst-case=" << m.worst_case()
-            << " round-sum=" << m.round_sum() << "\n";
+            << " round-sum=" << m.round_sum()
+            << " wall-ms=" << m.total_wall_ns() / 1e6 << "\n";
   if (!g_decay_csv_path.empty()) {
     std::ofstream os(g_decay_csv_path);
     write_decay_csv(os, m);
     std::cout << "decay series written to " << g_decay_csv_path << "\n";
+  }
+  if (!g_timings_csv_path.empty()) {
+    std::ofstream os(g_timings_csv_path);
+    write_round_timings_csv(os, m);
+    std::cout << "round timings written to " << g_timings_csv_path
+              << "\n";
   }
 }
 
@@ -127,7 +138,10 @@ int report_coloring(const CliArgs& args, const Graph& g,
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
-                    "avg-deg", "algo", "dot", "perm", "decay-csv"});
+                    "avg-deg", "algo", "dot", "perm", "decay-csv",
+                    "threads", "timings-csv"});
+  set_engine_threads(
+      static_cast<std::size_t>(args.get_int("threads", 1)));
 
   Graph g = make_graph(args);
   if (args.has("perm")) {
@@ -142,6 +156,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string algo = args.get_string("algo", "a2logn");
   g_decay_csv_path = args.get_string("decay-csv", "");
+  g_timings_csv_path = args.get_string("timings-csv", "");
 
   std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
             << " Delta=" << g.max_degree()
