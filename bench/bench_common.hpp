@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -16,15 +17,42 @@
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
 
 namespace valocal::bench {
+
+/// Opt-in whole-process tracing: VALOCAL_TRACE=<path> installs a
+/// TraceCollector for the bench's lifetime and writes every engine
+/// run's record to <path> as JSONL at exit (plus <path>.trace.json,
+/// the Chrome-trace timeline). Unset keeps the engines on their
+/// null-observer fast path, so the tables never change either way.
+inline void configure_tracing() {
+  const char* path = std::getenv("VALOCAL_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  static trace::TraceCollector collector;
+  static const std::string jsonl_path = path;
+  trace::set_sink(&collector);
+  std::atexit([] {
+    trace::set_sink(nullptr);
+    std::ofstream jsonl(jsonl_path);
+    collector.write_run_records_jsonl(jsonl);
+    std::ofstream chrome(jsonl_path + ".trace.json");
+    collector.write_chrome_trace(chrome);
+    std::cout << "[trace: run records in " << jsonl_path
+              << ", timeline in " << jsonl_path << ".trace.json]\n";
+  });
+  std::cout << "[trace: collecting run records]\n";
+}
 
 /// Installs the engine-wide worker-thread default from VALOCAL_THREADS
 /// (unset/empty/0 = 1, serial) and returns it. Benches call this first
 /// thing in main() so every compute_* under a Table 1/Table 2 sweep
 /// exploits the parallel round engine; results are byte-identical for
-/// every value, so the tables themselves never change.
+/// every value, so the tables themselves never change. Also hooks
+/// VALOCAL_TRACE (see configure_tracing) so any bench can emit run
+/// records without code changes.
 inline std::size_t configure_engine_threads() {
   std::size_t threads = 1;
   if (const char* env = std::getenv("VALOCAL_THREADS");
@@ -35,6 +63,7 @@ inline std::size_t configure_engine_threads() {
   set_engine_threads(threads);
   if (threads > 1)
     std::cout << "[engine: " << threads << " worker threads]\n";
+  configure_tracing();
   return threads;
 }
 

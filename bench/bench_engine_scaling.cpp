@@ -106,4 +106,9 @@ int run() {
 }  // namespace
 }  // namespace valocal::bench
 
-int main() { return valocal::bench::run(); }
+int main() {
+  // This bench sweeps thread counts itself; hook the tracing opt-in
+  // only, leaving the engine default untouched.
+  valocal::bench::configure_tracing();
+  return valocal::bench::run();
+}

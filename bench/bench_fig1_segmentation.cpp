@@ -82,4 +82,7 @@ int run() {
 }  // namespace
 }  // namespace valocal::bench
 
-int main() { return valocal::bench::run(); }
+int main() {
+  valocal::bench::configure_engine_threads();
+  return valocal::bench::run();
+}

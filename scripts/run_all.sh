@@ -9,6 +9,46 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Traced smoke job: exercise the observability layer end to end — one
+# deterministic and one randomized algorithm with the phase table plus
+# both JSON emitters — and check the emitted files actually parse.
+# (tests/test_trace.cpp checks the same syntax in-process; this guards
+# the CLI wiring.)
+mkdir -p trace_output
+build/tools/valocal_cli --gen adversarial --n 65536 --algo a2logn \
+  --threads 4 --phase-table \
+  --run-json trace_output/a2logn.json \
+  --trace-json trace_output/a2logn.trace.json \
+  2>&1 | tee trace_output/a2logn.txt
+build/tools/valocal_cli --gen er --n 20000 --avg-deg 6 --a 6 \
+  --algo rand_delta_plus1 --phase-table \
+  --run-json trace_output/rand.json \
+  --trace-json trace_output/rand.trace.json \
+  2>&1 | tee trace_output/rand.txt
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+for path in ("trace_output/a2logn.trace.json",
+             "trace_output/rand.trace.json"):
+    with open(path) as f:
+        events = json.load(f)["traceEvents"]
+    assert events, f"{path}: no trace events"
+for path in ("trace_output/a2logn.json", "trace_output/rand.json"):
+    with open(path) as f:
+        runs = [json.loads(line) for line in f]
+    assert runs, f"{path}: no run records"
+    for run in runs:
+        totals = run["totals"]
+        assert sum(p["round_sum"] for p in run["phases"]) == \
+            totals["round_sum"], f"{path}: phase sums != round_sum"
+        assert any(r["volume_bytes"] > 0 for r in run["rounds"]), \
+            f"{path}: no communication volume recorded"
+print("trace smoke: all emitted JSON parses and decomposes exactly")
+EOF
+else
+  echo "python3 unavailable; skipping trace JSON validation"
+fi
+
 # ThreadSanitizer job: rebuild the round engine's suites with
 # -DVALOCAL_SANITIZE=thread and run them (the parallel-engine tests use
 # num_threads up to 8 internally), racing-checking the engine before

@@ -116,6 +116,7 @@ bool ColoringA2Algo::step(Vertex v, std::size_t round,
 
 ColoringResult compute_coloring_a2(const Graph& g,
                                    PartitionParams params) {
+  VALOCAL_TRACE_PHASE("a2");
   ColoringA2Algo algo(g.num_vertices(), params);
   auto run = run_local(g, algo);
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "algo/arb_linial.hpp"
 #include "algo/coloring_result.hpp"
@@ -58,7 +59,24 @@ class ColoringA2Algo {
   std::size_t total_partition_rounds() const { return ell_; }
   std::size_t ladder_steps() const { return steps_; }
 
+  // Trace phases (trace::PhaseTraced), mirroring the round ranges in
+  // the file comment: partition.1 | ladder.1 | partition.2 | ladder.2.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    const std::size_t steps = std::max<std::size_t>(1, steps_);
+    if (round <= t1_) return 0;
+    if (round <= t1_ + steps) return 1;
+    if (round <= t1_ + steps + (ell_ - t1_)) return 2;
+    return 3;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {
+      "partition.1", "ladder.1", "partition.2", "ladder.2"};
+
   bool in_segment(std::int32_t hset, int segment) const {
     return segment == 1
                ? hset >= 1 && static_cast<std::size_t>(hset) <= t1_

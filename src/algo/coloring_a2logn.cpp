@@ -39,6 +39,7 @@ bool ColoringA2LogNAlgo::step(Vertex v, std::size_t round,
 
 ColoringResult compute_coloring_a2logn(const Graph& g,
                                        PartitionParams params) {
+  VALOCAL_TRACE_PHASE("a2logn");
   ColoringA2LogNAlgo algo(g.num_vertices(), params);
   auto run = run_local(g, algo);
 

@@ -44,7 +44,21 @@ class ColoringA2LogNAlgo {
 
   std::size_t palette_bound() const { return family_->ground_size(); }
 
+  // Trace phases (trace::PhaseTraced). Partition and coloring
+  // interleave within each round — the per-vertex classifier splits
+  // the round-sum exactly: a vertex is partitioning until it joins an
+  // H-set and spends exactly one charged round coloring.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t,
+                             const State& s) const {
+    return s.hset == 0 ? 0 : 1;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {"partition", "color"};
+
   PartitionParams params_;
   std::shared_ptr<const CoverFreeFamily> family_;
 };

@@ -30,6 +30,19 @@ ColoringKaAlgo::ColoringKaAlgo(std::size_t num_vertices,
     start += seg.partition_rounds * levels + 2;
   }
   region_start_.push_back(start);  // end sentinel
+
+  // Trace phase names: the store must never reallocate after the
+  // c_str() pointers are taken.
+  phase_name_store_.reserve(3 * segments_.size());
+  phase_names_.reserve(3 * segments_.size());
+  for (const Segment& seg : segments_) {
+    const std::string base = "seg" + std::to_string(seg.paper_index);
+    phase_name_store_.push_back(base + ".partition");
+    phase_name_store_.push_back(base + ".plan");
+    phase_name_store_.push_back(base + ".recolor");
+  }
+  for (const auto& name : phase_name_store_)
+    phase_names_.push_back(name.c_str());
 }
 
 bool ColoringKaAlgo::step(Vertex, std::size_t round,
@@ -104,6 +117,7 @@ bool ColoringKaAlgo::step(Vertex, std::size_t round,
 
 ColoringResult compute_coloring_ka(const Graph& g, PartitionParams params,
                                    int k) {
+  VALOCAL_TRACE_PHASE("ka");
   ColoringKaAlgo algo(g.num_vertices(), params, k);
   auto run = run_local(g, algo);
 

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <string>
 
 #include "algo/coloring_result.hpp"
 #include "algo/deg_plus_one_plan.hpp"
@@ -49,6 +51,24 @@ class ColoringKaAlgo {
   const std::vector<Segment>& segments() const { return segments_; }
   std::size_t plan_rounds() const { return tcol_; }
 
+  // Trace phases (trace::PhaseTraced): three per segment — partition,
+  // auxiliary plan, recolor. Names are built at construction because
+  // the segment count depends on (n, k).
+  std::span<const char* const> trace_phases() const {
+    return phase_names_;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    std::size_t region = 0;
+    while (region + 1 < region_start_.size() &&
+           round >= region_start_[region + 1])
+      ++region;
+    const std::size_t seg_idx = region / 2;
+    if (region % 2 != 0) return 3 * seg_idx + 2;
+    const std::size_t rel = round - region_start_[region];
+    return 3 * seg_idx + (rel % (1 + tcol_) == 0 ? 0 : 1);
+  }
+
  private:
   PartitionParams params_;
   int k_;
@@ -58,6 +78,9 @@ class ColoringKaAlgo {
   std::vector<std::size_t> region_start_;
   std::shared_ptr<const DegPlusOnePlan> plan_;
   std::size_t tcol_ = 0;
+  // Backing store for the c-strings handed out by trace_phases().
+  std::vector<std::string> phase_name_store_;
+  std::vector<const char*> phase_names_;
 };
 
 /// k <= 0 selects k = rho(n) (Corollary 7.17).

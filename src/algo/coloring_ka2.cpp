@@ -32,6 +32,18 @@ ColoringKa2Algo::ColoringKa2Algo(std::size_t num_vertices,
     start += lad;
   }
   region_start_.push_back(start);  // end sentinel
+
+  // Trace phase names, one per region; the store must never reallocate
+  // after the c_str() pointers are taken.
+  phase_name_store_.reserve(2 * segments_.size());
+  phase_names_.reserve(2 * segments_.size());
+  for (const Segment& seg : segments_) {
+    const std::string base = "seg" + std::to_string(seg.paper_index);
+    phase_name_store_.push_back(base + ".partition");
+    phase_name_store_.push_back(base + ".ladder");
+  }
+  for (const auto& name : phase_name_store_)
+    phase_names_.push_back(name.c_str());
 }
 
 std::size_t ColoringKa2Algo::palette_bound() const {
@@ -102,6 +114,7 @@ bool ColoringKa2Algo::step(Vertex v, std::size_t round,
 
 ColoringResult compute_coloring_ka2(const Graph& g,
                                     PartitionParams params, int k) {
+  VALOCAL_TRACE_PHASE("ka2");
   ColoringKa2Algo algo(g.num_vertices(), params, k);
   auto run = run_local(g, algo);
 

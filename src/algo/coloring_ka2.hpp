@@ -19,6 +19,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <string>
 
 #include "algo/arb_linial.hpp"
 #include "algo/coloring_result.hpp"
@@ -55,6 +57,20 @@ class ColoringKa2Algo {
   const std::vector<Segment>& segments() const { return segments_; }
   std::size_t ladder_steps() const { return steps_; }
 
+  // Trace phases (trace::PhaseTraced): two per segment — partition and
+  // ladder — mirroring the region layout built in the constructor.
+  std::span<const char* const> trace_phases() const {
+    return phase_names_;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    std::size_t region = 0;
+    while (region + 1 < region_start_.size() &&
+           round >= region_start_[region + 1])
+      ++region;
+    return region;
+  }
+
  private:
   PartitionParams params_;
   int k_;
@@ -63,6 +79,9 @@ class ColoringKa2Algo {
   std::shared_ptr<const ArbLinialLadder> ladder_;
   std::size_t steps_ = 0;
   std::size_t num_vertices_ = 0;
+  // Backing store for the c-strings handed out by trace_phases().
+  std::vector<std::string> phase_name_store_;
+  std::vector<const char*> phase_names_;
 };
 
 /// k <= 0 selects k = rho(n) (Corollary 7.14).

@@ -79,6 +79,7 @@ bool DeltaPlusOneAlgo::step(Vertex, std::size_t round,
 
 ColoringResult extend_delta_plus1(const Graph& g, PartitionParams params,
                                   std::vector<std::int32_t> partial) {
+  VALOCAL_TRACE_PHASE("extend_delta_plus1");
   VALOCAL_REQUIRE(partial.size() == g.num_vertices(),
                   "partial solution must cover all vertices");
   for (auto c : partial)
@@ -102,6 +103,7 @@ ColoringResult extend_delta_plus1(const Graph& g, PartitionParams params,
 
 ColoringResult compute_delta_plus1(const Graph& g,
                                    PartitionParams params) {
+  VALOCAL_TRACE_PHASE("delta_plus1");
   DeltaPlusOneAlgo algo(g.num_vertices(), g.max_degree(), params);
   auto run = run_local(g, algo);
 

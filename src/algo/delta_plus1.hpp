@@ -58,7 +58,22 @@ class DeltaPlusOneAlgo {
   std::size_t palette_bound() const { return max_degree_ + 1; }
   const CompositionSchedule& schedule() const { return schedule_; }
 
+  // Trace phases (trace::PhaseTraced): partition round, auxiliary
+  // (A+1)-coloring plan, greedy list-color sweep.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    const std::size_t pos = schedule_.position(round);
+    if (pos == 0) return 0;
+    return pos <= plan_->num_rounds() ? 1 : 2;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {"partition", "aux_plan",
+                                                 "sweep"};
+
   PartitionParams params_;
   std::size_t max_degree_;
   std::shared_ptr<const DegPlusOnePlan> plan_;

@@ -184,6 +184,7 @@ bool EdgeColoringAlgo::step(Vertex, std::size_t round,
 
 EdgeColoringResult compute_edge_coloring(const Graph& g,
                                          PartitionParams params) {
+  VALOCAL_TRACE_PHASE("edge_coloring");
   EdgeColoringAlgo algo(g.num_vertices(), g.num_edges(), params);
   auto run = run_local(g, algo);
 

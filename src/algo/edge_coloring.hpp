@@ -62,7 +62,26 @@ class EdgeColoringAlgo {
   }
   const CompositionSchedule& schedule() const { return schedule_; }
 
+  // Trace phases (trace::PhaseTraced), mirroring the stage geometry
+  // documented in step(): [flag][line plan][resolution sweep][cross].
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    const std::size_t pos = schedule_.position(round);
+    if (pos == 0) return 0;
+    if (pos == 1) return 1;
+    if (pos < 2 + line_plan_rounds()) return 2;
+    if (pos < 2 + line_plan_rounds() + (2 * params_.threshold() - 1))
+      return 3;
+    return 4;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {
+      "partition", "flag", "line_plan", "resolve", "cross"};
+
   std::size_t line_plan_rounds() const { return plan_->num_rounds(); }
 
   PartitionParams params_;

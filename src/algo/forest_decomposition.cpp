@@ -49,6 +49,7 @@ ForestDecomposition assemble_forest_decomposition(
 
 ForestDecompositionResult compute_forest_decomposition(
     const Graph& g, PartitionParams params) {
+  VALOCAL_TRACE_PHASE("forest_decomposition");
   ForestDecompositionAlgo algo(params);
   auto run = run_local(g, algo);
 

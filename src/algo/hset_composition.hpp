@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "algo/extension.hpp"
@@ -121,7 +122,19 @@ class HSetComposition {
 
   const CompositionSchedule& schedule() const { return schedule_; }
 
+  // Trace phases (trace::PhaseTraced): the partition round of each
+  // block versus the sub-rounds of the plugged-in subroutine.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    return schedule_.position(round) == 0 ? 0 : 1;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {"partition", "sub"};
+
   PartitionParams params_;
   Sub sub_;
   CompositionSchedule schedule_;
@@ -139,6 +152,7 @@ CompositionResult<Sub> run_hset_composition(const Graph& g,
                                             PartitionParams params,
                                             Sub sub,
                                             std::uint64_t seed = 0x5eed) {
+  VALOCAL_TRACE_PHASE("hset_composition");
   HSetComposition<Sub> algo(g.num_vertices(), params, std::move(sub));
   auto run = run_local(g, algo, {.seed = seed});
   return CompositionResult<Sub>{std::move(run.outputs),

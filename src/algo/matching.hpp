@@ -59,7 +59,26 @@ class MatchingAlgo {
     return std::max<std::size_t>(1, 2 * params_.threshold() - 1);
   }
 
+  // Trace phases (trace::PhaseTraced), mirroring the stage geometry
+  // documented in the file comment.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    const std::size_t pos = schedule_.position(round);
+    if (pos == 0) return 0;
+    if (pos == 1) return 1;
+    if (pos < 2 + plan_->num_rounds()) return 2;
+    if (pos < 2 + plan_->num_rounds() + (2 * params_.threshold() - 1))
+      return 3;
+    return 4;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {
+      "partition", "flag", "line_plan", "intra_sweep", "cross"};
+
   PartitionParams params_;
   std::shared_ptr<const DegPlusOnePlan> plan_;  // on the line graph
   CompositionSchedule schedule_;

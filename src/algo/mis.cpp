@@ -62,6 +62,7 @@ bool MisAlgo::step(Vertex, std::size_t round,
 }
 
 MisResult compute_mis(const Graph& g, PartitionParams params) {
+  VALOCAL_TRACE_PHASE("mis");
   MisAlgo algo(g.num_vertices(), params);
   auto run = run_local(g, algo);
 

@@ -40,7 +40,23 @@ class MisAlgo {
 
   const CompositionSchedule& schedule() const { return schedule_; }
 
+  // Trace phases (trace::PhaseTraced), keyed off the composition
+  // schedule's block geometry: the partition round, the auxiliary
+  // (A+1)-coloring plan, and the class sweep that joins the MIS.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t round,
+                             const State&) const {
+    const std::size_t pos = schedule_.position(round);
+    if (pos == 0) return 0;
+    return pos <= plan_->num_rounds() ? 1 : 2;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {"partition", "aux_plan",
+                                                 "select"};
+
   PartitionParams params_;
   std::shared_ptr<const DegPlusOnePlan> plan_;
   CompositionSchedule schedule_;

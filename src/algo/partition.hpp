@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -99,7 +100,18 @@ class PartitionAlgo {
 
   const PartitionParams& params() const { return params_; }
 
+  // Trace phases (trace::PhaseTraced): the whole run is one phase, but
+  // announcing it lets run records carry a named per-round breakdown.
+  std::span<const char* const> trace_phases() const {
+    return kTracePhases;
+  }
+  std::size_t trace_phase_of(Vertex, std::size_t, const State&) const {
+    return 0;
+  }
+
  private:
+  static constexpr const char* kTracePhases[] = {"partition"};
+
   PartitionParams params_;
 };
 

@@ -25,6 +25,7 @@
 //   };
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <utility>
@@ -32,6 +33,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
 
@@ -90,12 +92,18 @@ struct MailboxRunResult {
   std::uint64_t messages_sent = 0;
 };
 
+/// Runs `algo` on `g` to completion. Like run_local, the engine
+/// records per-round wall-clock in Metrics::round_wall_ns (size T) and,
+/// when a trace sink is installed, reports a RoundEvent per round with
+/// EXACT message and payload-byte counts (messages sent during the
+/// round; init-round pre-sends appear only in the run-end total).
 template <class A>
 MailboxRunResult<A> run_mailbox(const Graph& g, const A& algo,
                                 std::uint64_t seed = 0x5eedULL,
                                 std::size_t max_rounds = 0) {
   using State = typename A::State;
   using Message = typename A::Message;
+  using Clock = std::chrono::steady_clock;
   const std::size_t n = g.num_vertices();
 
   MailboxRunResult<A> result;
@@ -129,6 +137,23 @@ MailboxRunResult<A> run_mailbox(const Graph& g, const A& algo,
   inbox.swap(pending);
 
   const std::size_t cap = max_rounds != 0 ? max_rounds : 64 * n + 100000;
+
+  // Observer plumbing (null sink = the untraced fast path).
+  trace::TraceSink* const sink = trace::sink();
+  std::span<const char* const> phase_names{};
+  if constexpr (trace::PhaseTraced<A>) phase_names = algo.trace_phases();
+  const std::size_t num_phases = sink != nullptr ? phase_names.size() : 0;
+  std::vector<std::size_t> round_phase_charged;
+  if (sink != nullptr)
+    sink->on_run_begin(
+        trace::RunInfo{.engine = "mailbox",
+                       .num_vertices = n,
+                       .num_edges = g.num_edges(),
+                       .num_threads = 1,
+                       .state_bytes = sizeof(Message),
+                       .seed = seed},
+        phase_names);
+
   std::vector<Vertex> still_active;
   std::size_t round = 0;
   while (!active.empty()) {
@@ -146,22 +171,69 @@ MailboxRunResult<A> run_mailbox(const Graph& g, const A& algo,
                                __LINE__, msg);
     }
     result.metrics.active_per_round.push_back(active.size());
+    // Wall-clock parity with run_local: one entry per round, so
+    // total_wall_ns() / write_round_timings_csv see real numbers for
+    // mailbox runs too.
+    const auto round_start = Clock::now();
+    const std::uint64_t messages_before = result.messages_sent;
+    std::size_t terminated_count = 0;
+    if (sink != nullptr) round_phase_charged.assign(num_phases, 0);
 
     still_active.clear();
     for (Vertex v : active) {
+      if constexpr (trace::PhaseTraced<A>) {
+        // Classify on the pre-step state (step mutates it in place).
+        if (sink != nullptr)
+          ++round_phase_charged[algo.trace_phase_of(v, round, state[v])];
+      }
       Outbox<Message> out(g.degree(v));
       const Inbox<Message> in(&inbox[v]);
       const bool terminated =
           algo.step(v, round, in, state[v], out, rng[v]);
       route(v, out);
-      if (terminated)
+      if (terminated) {
         result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
-      else
+        ++terminated_count;
+      } else {
         still_active.push_back(v);
+      }
     }
     for (Vertex v = 0; v < n; ++v) inbox[v].clear();
     inbox.swap(pending);
+    const std::size_t stepped = active.size();
     active.swap(still_active);
+
+    result.metrics.round_wall_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - round_start)
+            .count()));
+
+    if (sink != nullptr) {
+      trace::RoundEvent event;
+      event.round = round;
+      event.active = stepped;
+      // Mailbox steps are terminate-only: every stepped vertex's r(v)
+      // is still open, so active == charged.
+      event.charged = stepped;
+      event.committed = terminated_count;
+      event.terminated = terminated_count;
+      event.messages = result.messages_sent - messages_before;
+      event.volume_bytes =
+          event.messages * static_cast<std::uint64_t>(sizeof(Message));
+      event.wall_ns = result.metrics.round_wall_ns.back();
+      event.phase_charged = round_phase_charged;
+      sink->on_round(event);
+    }
+  }
+
+  if (sink != nullptr) {
+    trace::RunEndEvent end;
+    end.rounds = result.metrics.active_per_round.size();
+    end.round_sum = result.metrics.round_sum();
+    end.worst_case = result.metrics.worst_case();
+    end.wall_ns = result.metrics.total_wall_ns();
+    end.messages = result.messages_sent;
+    sink->on_run_end(end);
   }
 
   result.outputs.reserve(n);

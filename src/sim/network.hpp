@@ -47,6 +47,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -187,6 +188,18 @@ struct RunResult {
 /// algo.output(v, ·) on that round's staged state. A committed vertex
 /// may keep computing and relaying (kCommit), but nothing it does
 /// afterwards can alter the recorded output.
+///
+/// Observability. When a trace sink is installed (trace::set_sink),
+/// the engine reports one RoundEvent per round — active / charged /
+/// committed / terminated counts, published-state volume (sizeof
+/// (State) * degree summed over stepped vertices) and, for algorithms
+/// satisfying trace::PhaseTraced, per-phase charged counts — plus
+/// run begin/end events carrying the pool's worker-load counters.
+/// All trace fields except wall_ns are sums over the round's vertex
+/// set and therefore covered by the determinism contract above. With
+/// no sink installed (the default) the tracing path reduces to one
+/// null-pointer test per vertex and the engine behaves exactly as
+/// before.
 template <LocalAlgorithm A>
 RunResult<A> run_local(const Graph& g, const A& algo,
                        RunOptions opt = {}) {
@@ -216,13 +229,41 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   // Outputs snapshotted at commit/terminate time (see contract above).
   std::vector<std::optional<Output>> committed(n);
 
+  // Observer plumbing: `sink == nullptr` is the fast path — the
+  // per-vertex branch below tests one pointer and nothing else runs.
+  trace::TraceSink* const sink = trace::sink();
+  std::span<const char* const> phase_names{};
+  if constexpr (trace::PhaseTraced<A>) phase_names = algo.trace_phases();
+  const std::size_t num_phases = sink != nullptr ? phase_names.size() : 0;
+  if (sink != nullptr)
+    sink->on_run_begin(
+        trace::RunInfo{.engine = "local",
+                       .num_vertices = n,
+                       .num_edges = g.num_edges(),
+                       .num_threads = num_threads,
+                       .state_bytes = sizeof(State),
+                       .seed = opt.seed},
+        phase_names);
+
   // Steps vertex v of `round`, staging its next state and (if it stays
   // live) its id into the caller-provided buffers. Reads the shared
   // double buffer `cur`; writes only v's own rng/rounds/committed
-  // slots — safe to run concurrently for distinct vertices.
+  // slots (and the chunk-private trace counters) — safe to run
+  // concurrently for distinct vertices.
   auto step_vertex = [&](Vertex v, std::size_t round,
                          std::vector<std::pair<Vertex, State>>& staged,
-                         std::vector<Vertex>& still_active) {
+                         std::vector<Vertex>& still_active,
+                         trace::ChunkCounters* counters) {
+    if (counters != nullptr) {
+      if (!committed[v]) {
+        ++counters->charged;
+        if constexpr (trace::PhaseTraced<A>)
+          ++counters->phase_charged[algo.trace_phase_of(v, round,
+                                                        cur[v])];
+      }
+      counters->volume_bytes +=
+          static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
+    }
     RoundView<State> view(g, {cur.data(), cur.size()}, v);
     State next = cur[v];
     StepResult verdict;
@@ -238,18 +279,24 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     if (verdict != StepResult::kContinue && !committed[v]) {
       result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
       committed[v].emplace(algo.output(v, next));
+      if (counters != nullptr) ++counters->committed;
     }
     staged.emplace_back(v, std::move(next));
     if (verdict != StepResult::kTerminate) still_active.push_back(v);
+    else if (counters != nullptr) ++counters->terminated;
   };
 
   ThreadPool pool(num_threads);
   // Per-chunk staging: chunk c covers active[c*grain, (c+1)*grain).
   // Staged states keep per-round cost proportional to the number of
   // *active* vertices — the quantity the paper's RoundSum counts — and
-  // give the parallel path its deterministic merge order.
+  // give the parallel path its deterministic merge order. Trace
+  // counters follow the same scheme: chunk-private accumulation,
+  // merged by summation (order-independent, hence byte-deterministic).
   std::vector<std::vector<std::pair<Vertex, State>>> chunk_staged;
   std::vector<std::vector<Vertex>> chunk_active;
+  std::vector<trace::ChunkCounters> chunk_counters;
+  std::vector<std::size_t> round_phase_charged;
   std::vector<Vertex> still_active;
 
   std::size_t round = 0;
@@ -283,6 +330,8 @@ RunResult<A> run_local(const Graph& g, const A& algo,
       chunk_staged.resize(num_chunks);
       chunk_active.resize(num_chunks);
     }
+    if (sink != nullptr && chunk_counters.size() < num_chunks)
+      chunk_counters.resize(num_chunks);
 
     pool.parallel_for_chunks(
         active.size(), grain,
@@ -292,8 +341,13 @@ RunResult<A> run_local(const Graph& g, const A& algo,
           staged.clear();
           still.clear();
           staged.reserve(end - begin);
+          trace::ChunkCounters* counters = nullptr;
+          if (sink != nullptr) {
+            counters = &chunk_counters[chunk];
+            counters->reset(num_phases);
+          }
           for (std::size_t i = begin; i < end; ++i)
-            step_vertex(active[i], round, staged, still);
+            step_vertex(active[i], round, staged, still, counters);
         });
 
     // Deterministic merge: chunks in index order reproduce exactly the
@@ -304,12 +358,42 @@ RunResult<A> run_local(const Graph& g, const A& algo,
       still_active.insert(still_active.end(), chunk_active[c].begin(),
                           chunk_active[c].end());
     }
+    const std::size_t stepped = active.size();
     active.swap(still_active);
 
     result.metrics.round_wall_ns.push_back(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             Clock::now() - round_start)
             .count()));
+
+    if (sink != nullptr) {
+      trace::RoundEvent event;
+      event.round = round;
+      event.active = stepped;
+      round_phase_charged.assign(num_phases, 0);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const auto& counters = chunk_counters[c];
+        event.charged += counters.charged;
+        event.committed += counters.committed;
+        event.terminated += counters.terminated;
+        event.volume_bytes += counters.volume_bytes;
+        for (std::size_t p = 0; p < num_phases; ++p)
+          round_phase_charged[p] += counters.phase_charged[p];
+      }
+      event.wall_ns = result.metrics.round_wall_ns.back();
+      event.phase_charged = round_phase_charged;
+      sink->on_round(event);
+    }
+  }
+
+  if (sink != nullptr) {
+    trace::RunEndEvent end;
+    end.rounds = result.metrics.active_per_round.size();
+    end.round_sum = result.metrics.round_sum();
+    end.worst_case = result.metrics.worst_case();
+    end.wall_ns = result.metrics.total_wall_ns();
+    end.worker_load = pool.worker_load();
+    sink->on_run_end(end);
   }
 
   result.outputs.reserve(n);

@@ -7,8 +7,9 @@ namespace valocal {
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t spawned = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(spawned);
+  load_.resize(spawned + 1);
   for (std::size_t i = 0; i < spawned; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, slot = i + 1] { worker_loop(slot); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -20,8 +21,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-bool ThreadPool::run_chunks(Job& job) {
+bool ThreadPool::run_chunks(Job& job, std::size_t slot) {
   std::size_t done_here = 0;
+  std::uint64_t indices_here = 0;
   for (std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
        c < job.num_chunks;
        c = job.next.fetch_add(1, std::memory_order_relaxed)) {
@@ -29,14 +31,19 @@ bool ThreadPool::run_chunks(Job& job) {
     const std::size_t end = std::min(job.total, begin + job.grain);
     (*job.fn)(c, begin, end);
     ++done_here;
+    indices_here += end - begin;
   }
   if (done_here == 0) return false;
+  // Publish the load slot BEFORE signalling chunk completion so the
+  // dispatcher's acquire on chunks_done orders the reads.
+  load_[slot].chunks += done_here;
+  load_[slot].indices += indices_here;
   return job.chunks_done.fetch_add(done_here, std::memory_order_acq_rel) +
              done_here ==
          job.num_chunks;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
@@ -45,7 +52,7 @@ void ThreadPool::worker_loop() {
     seen = generation_;
     const std::shared_ptr<Job> job = job_;
     lock.unlock();
-    const bool finished_job = job != nullptr && run_chunks(*job);
+    const bool finished_job = job != nullptr && run_chunks(*job, slot);
     lock.lock();
     // The notification must happen with the mutex held so the
     // dispatcher cannot check the predicate and sleep in between.
@@ -64,6 +71,8 @@ void ThreadPool::parallel_for_chunks(
   if (workers_.empty() || num_chunks == 1) {
     for (std::size_t c = 0; c < num_chunks; ++c)
       fn(c, c * grain, std::min(total, (c + 1) * grain));
+    load_[0].chunks += num_chunks;
+    load_[0].indices += total;
     return;
   }
 
@@ -79,7 +88,7 @@ void ThreadPool::parallel_for_chunks(
   }
   work_cv_.notify_all();
 
-  run_chunks(*job);
+  run_chunks(*job, 0);
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] {
     return job->chunks_done.load(std::memory_order_acquire) ==

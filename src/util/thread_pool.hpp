@@ -29,6 +29,16 @@ namespace valocal {
 
 class ThreadPool {
  public:
+  /// Cumulative work executed by one participant thread: chunks claimed
+  /// and indices stepped. Slot 0 is the dispatching caller, slots 1..
+  /// the pool's workers. Dynamic chunk claiming makes the split
+  /// schedule-dependent; the trace layer surfaces it to expose load
+  /// imbalance (the totals across slots are deterministic).
+  struct WorkerLoad {
+    std::uint64_t chunks = 0;
+    std::uint64_t indices = 0;
+  };
+
   /// `num_threads` is the total concurrency, caller included: the pool
   /// spawns num_threads - 1 workers (0 and 1 are both "no workers").
   explicit ThreadPool(std::size_t num_threads);
@@ -39,6 +49,10 @@ class ThreadPool {
 
   /// Total concurrency (workers + the participating caller).
   std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Per-thread load counters, valid only while no job is in flight
+  /// (each participant publishes its slot before signalling completion).
+  const std::vector<WorkerLoad>& worker_load() const { return load_; }
 
   /// Splits [0, total) into consecutive chunks of `grain` indices and
   /// invokes fn(chunk_index, begin, end) exactly once per chunk
@@ -64,12 +78,14 @@ class ThreadPool {
     std::atomic<std::size_t> chunks_done{0};
   };
 
-  void worker_loop();
-  /// Claims and runs chunks of `job`; returns true if this call
-  /// completed the job (ran its final outstanding chunk).
-  bool run_chunks(Job& job);
+  void worker_loop(std::size_t slot);
+  /// Claims and runs chunks of `job`, accumulating into load slot
+  /// `slot`; returns true if this call completed the job (ran its
+  /// final outstanding chunk).
+  bool run_chunks(Job& job, std::size_t slot);
 
   std::vector<std::thread> workers_;
+  std::vector<WorkerLoad> load_;
   std::mutex mutex_;
   std::condition_variable work_cv_;  // workers wait for a new generation
   std::condition_variable done_cv_;  // dispatcher waits for completion

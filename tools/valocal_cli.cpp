@@ -26,8 +26,14 @@
 //              byte-identical for every value — see docs/MODEL.md)
 //   --decay-csv    write the active-population decay series to a file
 //   --timings-csv  write per-round active counts + wall-clock to a file
+//   --rounds-csv   write the per-vertex round counts r(v) to a file
+//   --histogram-csv  write the r(v) histogram (count per round value)
+//   --phase-table  print the per-phase VA/WC/round-sum breakdown
+//   --trace-json   write a Chrome-trace / Perfetto JSON timeline
+//   --run-json     write a JSONL run record (graph, phases, rounds)
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "algo/coloring_a2.hpp"
 #include "algo/coloring_a2logn.hpp"
@@ -53,6 +59,8 @@
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
 #include "sim/metrics_io.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "validate/validate.hpp"
 
@@ -94,25 +102,41 @@ Graph make_graph(const CliArgs& args) {
   std::exit(2);
 }
 
-std::string g_decay_csv_path;    // set from --decay-csv
-std::string g_timings_csv_path;  // set from --timings-csv
+/// Everything print_metrics needs beyond the Metrics themselves:
+/// side-channel output paths and the (optional) trace collector.
+struct ReportOptions {
+  std::string decay_csv;      // --decay-csv
+  std::string timings_csv;    // --timings-csv
+  std::string rounds_csv;     // --rounds-csv
+  std::string histogram_csv;  // --histogram-csv
+  bool phase_table = false;   // --phase-table
+  const trace::TraceCollector* collector = nullptr;
+};
 
-void print_metrics(const Metrics& m) {
+void write_csv_if(const std::string& path, const Metrics& m,
+                  void (*writer)(std::ostream&, const Metrics&),
+                  const char* what) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  writer(os, m);
+  std::cout << what << " written to " << path << "\n";
+}
+
+void print_metrics(const Metrics& m, const ReportOptions& opts) {
   std::cout << "rounds: vertex-averaged=" << m.vertex_averaged()
             << " worst-case=" << m.worst_case()
             << " round-sum=" << m.round_sum()
             << " wall-ms=" << m.total_wall_ns() / 1e6 << "\n";
-  if (!g_decay_csv_path.empty()) {
-    std::ofstream os(g_decay_csv_path);
-    write_decay_csv(os, m);
-    std::cout << "decay series written to " << g_decay_csv_path << "\n";
-  }
-  if (!g_timings_csv_path.empty()) {
-    std::ofstream os(g_timings_csv_path);
-    write_round_timings_csv(os, m);
-    std::cout << "round timings written to " << g_timings_csv_path
-              << "\n";
-  }
+  write_csv_if(opts.decay_csv, m, write_decay_csv, "decay series");
+  write_csv_if(opts.timings_csv, m, write_round_timings_csv,
+               "round timings");
+  write_csv_if(opts.rounds_csv, m, write_rounds_csv,
+               "per-vertex rounds");
+  write_csv_if(opts.histogram_csv, m, write_rounds_histogram_csv,
+               "rounds histogram");
+  if (opts.phase_table && opts.collector != nullptr &&
+      !opts.collector->runs().empty())
+    opts.collector->print_phase_table(std::cout);
 }
 
 void maybe_dot(const CliArgs& args, const Graph& g,
@@ -122,52 +146,39 @@ void maybe_dot(const CliArgs& args, const Graph& g,
   write_dot(os, g, &color);
 }
 
-int report_coloring(const CliArgs& args, const Graph& g,
-                    const ColoringResult& r, const char* name) {
+int report_coloring(const CliArgs& args, const ReportOptions& opts,
+                    const Graph& g, const ColoringResult& r,
+                    const char* name) {
   const bool ok = is_proper_coloring(g, r.color);
   std::cout << name << ": colors=" << r.num_colors << " (palette "
             << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
             << "\n";
-  print_metrics(r.metrics);
+  print_metrics(r.metrics, opts);
   maybe_dot(args, g, r.color);
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
-  args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
-                    "avg-deg", "algo", "dot", "perm", "decay-csv",
-                    "threads", "timings-csv"});
-  set_engine_threads(
-      static_cast<std::size_t>(args.get_int("threads", 1)));
+namespace {
 
-  Graph g = make_graph(args);
-  if (args.has("perm")) {
-    const auto perm_seed = static_cast<std::uint64_t>(
-        args.get_int("perm", 0));
-    g = relabel(g, random_permutation(g.num_vertices(), perm_seed));
-  }
+/// Runs the selected algorithm and reports its result. Split out of
+/// main so trace emitters run after the dispatch regardless of which
+/// branch returned.
+int run_algo(const CliArgs& args, const ReportOptions& opts, Graph& g) {
   const auto a = static_cast<std::size_t>(args.get_int("a", 2));
   const PartitionParams params{.arboricity = a,
                                .epsilon = args.get_double("eps", 1.0)};
   const int k = static_cast<int>(args.get_int("k", 0));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string algo = args.get_string("algo", "a2logn");
-  g_decay_csv_path = args.get_string("decay-csv", "");
-  g_timings_csv_path = args.get_string("timings-csv", "");
-
-  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
-            << " Delta=" << g.max_degree()
-            << " degeneracy=" << degeneracy(g) << "\n";
 
   if (algo == "partition") {
     const auto r = compute_h_partition(g, params);
     std::cout << "partition: " << r.num_sets << " H-sets, valid="
               << (is_h_partition(g, r.hset, r.threshold) ? "yes" : "NO")
               << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return 0;
   }
   if (algo == "general_partition") {
@@ -179,7 +190,7 @@ int main(int argc, char** argv) {
                       ? "yes"
                       : "NO")
               << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return 0;
   }
   if (algo == "forest_decomp") {
@@ -191,54 +202,54 @@ int main(int argc, char** argv) {
                       ? "yes"
                       : "NO")
               << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return 0;
   }
   if (algo == "a2logn")
-    return report_coloring(args, g, compute_coloring_a2logn(g, params),
+    return report_coloring(args, opts, g, compute_coloring_a2logn(g, params),
                            "a2logn");
   if (algo == "a2")
-    return report_coloring(args, g, compute_coloring_a2(g, params), "a2");
+    return report_coloring(args, opts, g, compute_coloring_a2(g, params), "a2");
   if (algo == "oa")
-    return report_coloring(args, g, compute_coloring_oa(g, params), "oa");
+    return report_coloring(args, opts, g, compute_coloring_oa(g, params), "oa");
   if (algo == "ka")
-    return report_coloring(args, g, compute_coloring_ka(g, params, k),
+    return report_coloring(args, opts, g, compute_coloring_ka(g, params, k),
                            "ka");
   if (algo == "ka2")
-    return report_coloring(args, g, compute_coloring_ka2(g, params, k),
+    return report_coloring(args, opts, g, compute_coloring_ka2(g, params, k),
                            "ka2");
   if (algo == "one_plus_eta")
-    return report_coloring(args, g,
+    return report_coloring(args, opts, g,
                            compute_one_plus_eta(g, {.arboricity = a}),
                            "one_plus_eta");
   if (algo == "delta_plus1")
-    return report_coloring(args, g, compute_delta_plus1(g, params),
+    return report_coloring(args, opts, g, compute_delta_plus1(g, params),
                            "delta_plus1");
   if (algo == "rand_delta_plus1")
-    return report_coloring(args, g, compute_rand_delta_plus1(g, seed),
+    return report_coloring(args, opts, g, compute_rand_delta_plus1(g, seed),
                            "rand_delta_plus1");
   if (algo == "rand_a_loglog")
-    return report_coloring(args, g,
+    return report_coloring(args, opts, g,
                            compute_rand_a_loglog(g, params, seed),
                            "rand_a_loglog");
   if (algo == "be08")
-    return report_coloring(args, g, compute_be08_arb_color(g, params),
+    return report_coloring(args, opts, g, compute_be08_arb_color(g, params),
                            "be08 (run to completion)");
   if (algo == "wc_delta")
-    return report_coloring(args, g, compute_wc_delta_plus1(g),
+    return report_coloring(args, opts, g, compute_wc_delta_plus1(g),
                            "wc_delta_plus1 (run to completion)");
   if (algo == "mis") {
     const auto r = compute_mis(g, params);
     std::cout << "MIS valid=" << (is_mis(g, r.in_set) ? "yes" : "NO")
               << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return is_mis(g, r.in_set) ? 0 : 1;
   }
   if (algo == "luby") {
     const auto r = compute_luby_mis(g, seed);
     std::cout << "Luby MIS valid="
               << (is_mis(g, r.in_set) ? "yes" : "NO") << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return is_mis(g, r.in_set) ? 0 : 1;
   }
   if (algo == "edge_coloring") {
@@ -247,25 +258,87 @@ int main(int argc, char** argv) {
     std::cout << "edge coloring: colors=" << r.num_colors << " (palette "
               << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
               << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return ok ? 0 : 1;
   }
   if (algo == "matching") {
     const auto r = compute_matching(g, params);
     const bool ok = is_maximal_matching(g, r.in_matching);
     std::cout << "matching maximal=" << (ok ? "yes" : "NO") << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return ok ? 0 : 1;
   }
   if (algo == "leader") {
     const auto r = compute_ring_leader_election(g);
     std::cout << "leader=" << r.leader << "\n";
-    print_metrics(r.metrics);
+    print_metrics(r.metrics, opts);
     return 0;
   }
   if (algo == "ring3")
-    return report_coloring(args, g, compute_ring_3coloring(g), "ring3");
+    return report_coloring(args, opts, g, compute_ring_3coloring(g), "ring3");
 
   std::cerr << "unknown algorithm: " << algo << "\n";
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
+                    "avg-deg", "algo", "dot", "perm", "decay-csv",
+                    "threads", "timings-csv", "rounds-csv",
+                    "histogram-csv", "phase-table", "trace-json",
+                    "run-json"});
+  set_engine_threads(
+      static_cast<std::size_t>(args.get_int("threads", 1)));
+
+  Graph g = make_graph(args);
+  if (args.has("perm")) {
+    const auto perm_seed = static_cast<std::uint64_t>(
+        args.get_int("perm", 0));
+    g = relabel(g, random_permutation(g.num_vertices(), perm_seed));
+  }
+
+  ReportOptions opts;
+  opts.decay_csv = args.get_string("decay-csv", "");
+  opts.timings_csv = args.get_string("timings-csv", "");
+  opts.rounds_csv = args.get_string("rounds-csv", "");
+  opts.histogram_csv = args.get_string("histogram-csv", "");
+  opts.phase_table = args.has("phase-table");
+
+  // Any trace flag installs the collector for the whole dispatch; with
+  // no flag the engines keep their null-observer fast path.
+  const std::string trace_json = args.get_string("trace-json", "");
+  const std::string run_json = args.get_string("run-json", "");
+  trace::TraceCollector collector;
+  std::optional<trace::ScopedSink> scoped_sink;
+  if (opts.phase_table || !trace_json.empty() || !run_json.empty()) {
+    for (const char* key : {"gen", "input", "n", "a", "k", "eps",
+                            "seed", "avg-deg", "algo", "perm",
+                            "threads"})
+      if (args.has(key))
+        collector.set_context(key, args.get_string(key, ""));
+    collector.set_context("algo", args.get_string("algo", "a2logn"));
+    scoped_sink.emplace(&collector);
+    opts.collector = &collector;
+  }
+
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree()
+            << " degeneracy=" << degeneracy(g) << "\n";
+
+  const int rc = run_algo(args, opts, g);
+
+  if (!trace_json.empty()) {
+    std::ofstream os(trace_json);
+    collector.write_chrome_trace(os);
+    std::cout << "chrome trace written to " << trace_json << "\n";
+  }
+  if (!run_json.empty()) {
+    std::ofstream os(run_json);
+    collector.write_run_records_jsonl(os);
+    std::cout << "run record written to " << run_json << "\n";
+  }
+  return rc;
 }
