@@ -11,15 +11,57 @@
 //      depends on the cores the host actually has.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "baseline/luby_mis.hpp"
 #include "algo/rand_delta_plus1.hpp"
 #include "bench_common.hpp"
+#include "sim/batch.hpp"
 #include "validate/validate.hpp"
 
 namespace valocal::bench {
 namespace {
+
+/// One measured configuration, exportable as JSON for BENCH_engine.json
+/// (scripts/bench_baseline.sh sets VALOCAL_BENCH_JSON=<path>).
+struct ScalingRow {
+  std::string section;    // "round_engine" | "trial_batch"
+  std::string algorithm;
+  std::size_t threads = 1;
+  std::size_t trials = 1;
+  double best_ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+std::vector<ScalingRow>& json_rows() {
+  static std::vector<ScalingRow> rows;
+  return rows;
+}
+
+void write_json_rows() {
+  const char* path = std::getenv("VALOCAL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path);
+  os << "{\n  \"hardware_threads\": "
+     << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
+  const auto& rows = json_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    os << "    {\"section\": \"" << r.section << "\", \"algorithm\": \""
+       << r.algorithm << "\", \"threads\": " << r.threads
+       << ", \"trials\": " << r.trials << ", \"best_ms\": " << r.best_ms
+       << ", \"speedup\": " << r.speedup << ", \"identical\": "
+       << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "[scaling rows written to " << path << "]\n";
+}
 
 template <class F>
 auto timed_best_of(int reps, const F& f, double& best_ms) {
@@ -91,10 +133,75 @@ int run() {
                  Table::num(ms, 2),
                  Table::num(ms > 0 ? serial_ms / ms : 0.0, 2) + "x",
                  identical ? "yes" : "NO"});
+      json_rows().push_back({"round_engine", algo, threads, 1, ms,
+                             ms > 0 ? serial_ms / ms : 0.0, identical});
     }
   }
   set_engine_threads(1);
   t.print(std::cout);
+
+  // Trial-level sharding (run_batch): a 32-seed sweep of randomized
+  // Delta+1 on a smaller G(n,p), parallelized ACROSS trials rather than
+  // within rounds. This is the regime seed sweeps / table benches live
+  // in; the determinism check compares every thread count's full result
+  // set (colors, r(v), n_i per trial) against the serial loop.
+  print_header(
+      "Trial batcher (run_batch): 32-seed rand_delta_plus1 sweep, "
+      "n = 2^15, avg deg 8");
+  const std::size_t bn = 1 << 15;
+  const Graph bg = gen::erdos_renyi(bn, 8.0, 7);
+  const std::size_t num_trials = 32;
+  auto trial = [&](std::size_t i) {
+    return compute_rand_delta_plus1(bg, 1000 + i);
+  };
+
+  std::vector<std::vector<int>> ref_batch_colors;
+  std::vector<Metrics> ref_batch_metrics;
+  double batch_serial_ms = 0.0;
+  Table bt({"threads", "trials", "best ms", "speedup", "identical"});
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double ms = 0.0;
+    const auto results = timed_best_of(
+        2,
+        [&] {
+          return run_batch(num_trials, trial,
+                           {.num_threads = threads,
+                            .trial_vertices = bn});
+        },
+        ms);
+    bool identical = true;
+    if (threads == 1) {
+      batch_serial_ms = ms;
+      ref_batch_colors.clear();
+      ref_batch_metrics.clear();
+      for (const auto& r : results) {
+        ref_batch_colors.push_back(r.color);
+        ref_batch_metrics.push_back(r.metrics);
+        tracker.expect(is_proper_coloring(bg, r.color),
+                       "batched rand delta+1 propriety");
+      }
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i)
+        identical = identical &&
+                    results[i].color == ref_batch_colors[i] &&
+                    results[i].metrics.rounds ==
+                        ref_batch_metrics[i].rounds &&
+                    results[i].metrics.active_per_round ==
+                        ref_batch_metrics[i].active_per_round;
+    }
+    tracker.expect(identical, "run_batch determinism @threads=" +
+                                  std::to_string(threads));
+    bt.add_row({Table::num(static_cast<std::uint64_t>(threads)),
+                Table::num(static_cast<std::uint64_t>(num_trials)),
+                Table::num(ms, 2),
+                Table::num(ms > 0 ? batch_serial_ms / ms : 0.0, 2) + "x",
+                identical ? "yes" : "NO"});
+    json_rows().push_back({"trial_batch", "rand_delta_plus1", threads,
+                           num_trials, ms,
+                           ms > 0 ? batch_serial_ms / ms : 0.0,
+                           identical});
+  }
+  bt.print(std::cout);
 
   std::cout << "\nDeterminism rows must all read 'yes' (byte-identical "
                "outputs, r(v), and n_i for every thread count). The "
@@ -110,5 +217,7 @@ int main() {
   // This bench sweeps thread counts itself; hook the tracing opt-in
   // only, leaving the engine default untouched.
   valocal::bench::configure_tracing();
-  return valocal::bench::run();
+  const int rc = valocal::bench::run();
+  valocal::bench::write_json_rows();
+  return rc;
 }

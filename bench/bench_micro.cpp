@@ -13,9 +13,11 @@
 #include "algo/mis.hpp"
 #include "algo/partition.hpp"
 #include "algo/rand_delta_plus1.hpp"
+#include "algo/rings.hpp"
 #include "baseline/be08_arb_color.hpp"
 #include "baseline/luby_mis.hpp"
 #include "graph/generators.hpp"
+#include "sim/network.hpp"
 
 namespace valocal {
 namespace {
@@ -30,6 +32,57 @@ const Graph& tree(std::size_t n) {
   }
   return it->second;
 }
+
+const Graph& ring(std::size_t n) {
+  static std::map<std::size_t, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, gen::ring(n)).first;
+  return it->second;
+}
+
+std::uint64_t stepped_vertex_rounds(const Metrics& m) {
+  std::uint64_t s = 0;
+  for (std::size_t a : m.active_per_round) s += a;
+  return s;
+}
+
+// Engine round-throughput fixtures: algorithms whose per-vertex step is
+// a few instructions, so the measured time is dominated by the round
+// engine itself (buffer management, active-set bookkeeping, dispatch).
+// items_per_second = stepped vertex-rounds per second, the engine's
+// round-throughput — the number BENCH_engine.json tracks across PRs.
+void BM_EngineRing3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = ring(n);
+  const RingColoring3Algo algo(n);
+  std::uint64_t stepped = 0;
+  for (auto _ : state) {
+    auto result = run_local(g, algo);
+    stepped = stepped_vertex_rounds(result.metrics);
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["stepped"] = static_cast<double>(stepped);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stepped));
+}
+BENCHMARK(BM_EngineRing3)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EngineA2LogN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+  const ColoringA2LogNAlgo algo(g.num_vertices(), params);
+  std::uint64_t stepped = 0;
+  for (auto _ : state) {
+    auto result = run_local(g, algo);
+    stepped = stepped_vertex_rounds(result.metrics);
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["stepped"] = static_cast<double>(stepped);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stepped));
+}
+BENCHMARK(BM_EngineA2LogN)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_Partition(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

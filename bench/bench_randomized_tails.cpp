@@ -11,6 +11,7 @@
 #include "algo/rand_a_loglog.hpp"
 #include "algo/rand_delta_plus1.hpp"
 #include "bench_common.hpp"
+#include "sim/batch.hpp"
 #include "validate/validate.hpp"
 
 namespace valocal::bench {
@@ -21,11 +22,18 @@ struct Distribution {
   std::size_t max_wc = 0;
 };
 
-template <class Run>
-Distribution sweep_seeds(std::size_t trials, Run&& run) {
+/// Runs the seed sweep through the trial batcher (parallel across
+/// seeds when VALOCAL_THREADS > 1, byte-identical to the serial loop),
+/// then validates and aggregates serially — `validate` may touch
+/// shared state (the tracker); `run` must not.
+template <class Run, class Validate>
+Distribution sweep_seeds(std::size_t trials, std::size_t trial_vertices,
+                         Run&& run, Validate&& validate) {
+  const auto results =
+      run_batch(trials, run, {.trial_vertices = trial_vertices});
   Distribution d;
-  for (std::size_t s = 0; s < trials; ++s) {
-    const ColoringResult r = run(s);
+  for (const ColoringResult& r : results) {
+    validate(r);
     const double va = r.metrics.vertex_averaged();
     d.mean_va += va / static_cast<double>(trials);
     d.max_va = std::max(d.max_va, va);
@@ -44,20 +52,24 @@ int run() {
   Table t({"algorithm", "n", "mean VA", "max VA", "max WC"});
   for (std::size_t n : {1 << 10, 1 << 13, 1 << 16}) {
     const Graph g = adversarial_tree(n, params);
-    const auto d1 = sweep_seeds(kTrials, [&](std::size_t s) {
-      auto r = compute_rand_delta_plus1(g, 1000 + s);
-      tracker.expect(is_proper_coloring(g, r.color), "9.1 proper");
-      return r;
-    });
+    const auto d1 = sweep_seeds(
+        kTrials, n,
+        [&](std::size_t s) { return compute_rand_delta_plus1(g, 1000 + s); },
+        [&](const ColoringResult& r) {
+          tracker.expect(is_proper_coloring(g, r.color), "9.1 proper");
+        });
     t.add_row({"rand_delta_plus1 (9.1)",
                Table::num(static_cast<std::uint64_t>(n)),
                Table::num(d1.mean_va), Table::num(d1.max_va),
                Table::num(static_cast<std::uint64_t>(d1.max_wc))});
-    const auto d2 = sweep_seeds(kTrials, [&](std::size_t s) {
-      auto r = compute_rand_a_loglog(g, params, 2000 + s);
-      tracker.expect(is_proper_coloring(g, r.color), "9.2 proper");
-      return r;
-    });
+    const auto d2 = sweep_seeds(
+        kTrials, n,
+        [&](std::size_t s) {
+          return compute_rand_a_loglog(g, params, 2000 + s);
+        },
+        [&](const ColoringResult& r) {
+          tracker.expect(is_proper_coloring(g, r.color), "9.2 proper");
+        });
     t.add_row({"rand_a_loglog (9.2)",
                Table::num(static_cast<std::uint64_t>(n)),
                Table::num(d2.mean_va), Table::num(d2.max_va),

@@ -4,6 +4,7 @@
 // against Luby's randomized O(log n) MIS baseline. Workloads: the
 // adversarial (A+1)-ary tree, forest unions, and the star-union
 // Delta >> a family. Experiment ids T2.1-T2.3 in DESIGN.md.
+#include <functional>
 #include <iostream>
 
 #include "algo/edge_coloring.hpp"
@@ -12,10 +13,38 @@
 #include "baseline/luby_mis.hpp"
 #include "baseline/wc_edge_mm.hpp"
 #include "bench_common.hpp"
+#include "sim/batch.hpp"
 #include "validate/validate.hpp"
 
 namespace valocal::bench {
 namespace {
+
+/// Batched table cell: Table 2 mixes result types (MIS / edge coloring
+/// / matching), so each compute job validates with the PURE predicates
+/// inside the closure and returns this digest; tracker bookkeeping and
+/// row emission happen serially afterwards. Byte-determinism of the
+/// batch makes the table independent of VALOCAL_THREADS.
+struct CellOut {
+  bool ok = true;        // primary validity predicate
+  bool ok_aux = true;    // secondary check (e.g. EC palette bound)
+  Metrics metrics;
+};
+
+struct Cell {
+  const char* problem;
+  const char* algo;
+  std::size_t n = 0;
+  std::size_t param = 0;            // block-specific: a or Delta
+  const char* check;                // tracker label for `ok`
+  const char* check_aux = nullptr;  // tracker label for `ok_aux`
+  const char* ratio = nullptr;      // WC/VA override (baselines)
+  std::function<CellOut()> compute;
+};
+
+std::vector<CellOut> run_cells(const std::vector<Cell>& cells) {
+  return run_batch(cells.size(),
+                   [&](std::size_t i) { return cells[i].compute(); });
+}
 
 int run() {
   ValidationTracker tracker;
@@ -23,132 +52,166 @@ int run() {
 
   print_header("Table 2 — adversarial (A+1)-ary tree, a=1");
   Table t({"problem", "algorithm", "n", "VA", "WC", "WC/VA"});
-  for (std::size_t n : {1 << 12, 1 << 14, 1 << 16, 1 << 18}) {
-    const Graph g = adversarial_tree(n, params);
-
-    const auto mis = compute_mis(g, params);
-    tracker.expect(is_mis(g, mis.in_set), "T2.1 MIS");
-    t.add_row({"T2.1 MIS", "mis (Cor 8.4)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(mis.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   mis.metrics.worst_case())),
-               fmt_ratio(mis.metrics.vertex_averaged(),
-                         static_cast<double>(mis.metrics.worst_case()))});
-
-    const auto luby = compute_luby_mis(g, n);
-    tracker.expect(is_mis(g, luby.in_set), "T2.1 Luby");
-    t.add_row({"T2.1 MIS", "luby (baseline, rand O(log n))",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(luby.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   luby.metrics.worst_case())),
-               fmt_ratio(luby.metrics.vertex_averaged(),
-                         static_cast<double>(
-                             luby.metrics.worst_case()))});
-
-    const auto ec = compute_edge_coloring(g, params);
-    tracker.expect(is_proper_edge_coloring(g, ec.color), "T2.2 EC");
-    tracker.expect(ec.num_colors <= ec.palette_bound, "T2.2 palette");
-    t.add_row({"T2.2 (2D-1)-EC", "edge_coloring (Cor 8.6)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(ec.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   ec.metrics.worst_case())),
-               fmt_ratio(ec.metrics.vertex_averaged(),
-                         static_cast<double>(ec.metrics.worst_case()))});
-
-    const auto mm = compute_matching(g, params);
-    tracker.expect(is_maximal_matching(g, mm.in_matching), "T2.3 MM");
-    t.add_row({"T2.3 MM", "matching (Cor 8.8)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(mm.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   mm.metrics.worst_case())),
-               fmt_ratio(mm.metrics.vertex_averaged(),
-                         static_cast<double>(mm.metrics.worst_case()))});
-
-    if (n > (1 << 14)) continue;  // baselines: small sizes suffice
-    const auto wc_ec = compute_wc_edge_coloring(g);
-    tracker.expect(is_proper_edge_coloring(g, wc_ec.color),
-                   "T2.2 baseline EC");
-    t.add_row({"T2.2 (2D-1)-EC", "baseline (run to completion)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(wc_ec.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   wc_ec.metrics.worst_case())),
-               "1.0x"});
-    const auto wc_mm = compute_wc_matching(g);
-    tracker.expect(is_maximal_matching(g, wc_mm.in_matching),
-                   "T2.3 baseline MM");
-    t.add_row({"T2.3 MM", "baseline (run to completion)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(wc_mm.metrics.vertex_averaged()),
-               Table::num(static_cast<std::uint64_t>(
-                   wc_mm.metrics.worst_case())),
-               "1.0x"});
+  {
+    const std::vector<std::size_t> sizes{1 << 12, 1 << 14, 1 << 16,
+                                         1 << 18};
+    std::vector<Graph> graphs;
+    std::vector<Cell> cells;
+    graphs.reserve(sizes.size());
+    for (std::size_t n : sizes) {
+      graphs.push_back(adversarial_tree(n, params));
+      const Graph* g = &graphs.back();
+      cells.push_back({"T2.1 MIS", "mis (Cor 8.4)", n, 0, "T2.1 MIS",
+                       nullptr, nullptr, [g, &params] {
+                         const auto r = compute_mis(*g, params);
+                         return CellOut{is_mis(*g, r.in_set), true,
+                                        r.metrics};
+                       }});
+      cells.push_back({"T2.1 MIS", "luby (baseline, rand O(log n))", n,
+                       0, "T2.1 Luby", nullptr, nullptr, [g, n] {
+                         const auto r = compute_luby_mis(*g, n);
+                         return CellOut{is_mis(*g, r.in_set), true,
+                                        r.metrics};
+                       }});
+      cells.push_back({"T2.2 (2D-1)-EC", "edge_coloring (Cor 8.6)", n, 0,
+                       "T2.2 EC", "T2.2 palette", nullptr, [g, &params] {
+                         const auto r = compute_edge_coloring(*g, params);
+                         return CellOut{
+                             is_proper_edge_coloring(*g, r.color),
+                             r.num_colors <= r.palette_bound, r.metrics};
+                       }});
+      cells.push_back({"T2.3 MM", "matching (Cor 8.8)", n, 0, "T2.3 MM",
+                       nullptr, nullptr, [g, &params] {
+                         const auto r = compute_matching(*g, params);
+                         return CellOut{
+                             is_maximal_matching(*g, r.in_matching),
+                             true, r.metrics};
+                       }});
+      if (n > (1 << 14)) continue;  // baselines: small sizes suffice
+      cells.push_back({"T2.2 (2D-1)-EC", "baseline (run to completion)",
+                       n, 0, "T2.2 baseline EC", nullptr, "1.0x", [g] {
+                         const auto r = compute_wc_edge_coloring(*g);
+                         return CellOut{
+                             is_proper_edge_coloring(*g, r.color), true,
+                             r.metrics};
+                       }});
+      cells.push_back({"T2.3 MM", "baseline (run to completion)", n, 0,
+                       "T2.3 baseline MM", nullptr, "1.0x", [g] {
+                         const auto r = compute_wc_matching(*g);
+                         return CellOut{
+                             is_maximal_matching(*g, r.in_matching),
+                             true, r.metrics};
+                       }});
+    }
+    const auto results = run_cells(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      const CellOut& r = results[i];
+      tracker.expect(r.ok, c.check);
+      if (c.check_aux != nullptr) tracker.expect(r.ok_aux, c.check_aux);
+      t.add_row({c.problem, c.algo,
+                 Table::num(static_cast<std::uint64_t>(c.n)),
+                 Table::num(r.metrics.vertex_averaged()),
+                 Table::num(static_cast<std::uint64_t>(
+                     r.metrics.worst_case())),
+                 c.ratio != nullptr
+                     ? std::string(c.ratio)
+                     : fmt_ratio(r.metrics.vertex_averaged(),
+                                 static_cast<double>(
+                                     r.metrics.worst_case()))});
+    }
   }
   t.print(std::cout);
 
   print_header("Table 2 — forest unions (VA tracks a, not n)");
   Table tf({"problem", "n", "a", "VA", "WC"});
-  for (std::size_t n : {4096u, 32768u}) {
-    for (std::size_t a : {2u, 4u, 8u}) {
-      const Graph g = gen::forest_union(n, a, n + a);
-      const PartitionParams pf{.arboricity = a, .epsilon = 1.0};
-      const auto mis = compute_mis(g, pf);
-      tracker.expect(is_mis(g, mis.in_set), "T2 forest MIS");
-      tf.add_row({"MIS", Table::num(static_cast<std::uint64_t>(n)),
-                  Table::num(static_cast<std::uint64_t>(a)),
-                  Table::num(mis.metrics.vertex_averaged()),
+  {
+    std::vector<Graph> graphs;
+    std::vector<Cell> cells;
+    graphs.reserve(2 * 3);
+    for (std::size_t n : {4096u, 32768u}) {
+      for (std::size_t a : {2u, 4u, 8u}) {
+        graphs.push_back(gen::forest_union(n, a, n + a));
+        const Graph* g = &graphs.back();
+        const PartitionParams pf{.arboricity = a, .epsilon = 1.0};
+        cells.push_back({"MIS", "", n, a, "T2 forest MIS", nullptr,
+                         nullptr, [g, pf] {
+                           const auto r = compute_mis(*g, pf);
+                           return CellOut{is_mis(*g, r.in_set), true,
+                                          r.metrics};
+                         }});
+        cells.push_back({"EC", "", n, a, "T2 forest EC", nullptr,
+                         nullptr, [g, pf] {
+                           const auto r = compute_edge_coloring(*g, pf);
+                           return CellOut{
+                               is_proper_edge_coloring(*g, r.color),
+                               true, r.metrics};
+                         }});
+        cells.push_back({"MM", "", n, a, "T2 forest MM", nullptr,
+                         nullptr, [g, pf] {
+                           const auto r = compute_matching(*g, pf);
+                           return CellOut{
+                               is_maximal_matching(*g, r.in_matching),
+                               true, r.metrics};
+                         }});
+      }
+    }
+    const auto results = run_cells(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      const CellOut& r = results[i];
+      tracker.expect(r.ok, c.check);
+      tf.add_row({c.problem, Table::num(static_cast<std::uint64_t>(c.n)),
+                  Table::num(static_cast<std::uint64_t>(c.param)),
+                  Table::num(r.metrics.vertex_averaged()),
                   Table::num(static_cast<std::uint64_t>(
-                      mis.metrics.worst_case()))});
-      const auto ec = compute_edge_coloring(g, pf);
-      tracker.expect(is_proper_edge_coloring(g, ec.color),
-                     "T2 forest EC");
-      tf.add_row({"EC", Table::num(static_cast<std::uint64_t>(n)),
-                  Table::num(static_cast<std::uint64_t>(a)),
-                  Table::num(ec.metrics.vertex_averaged()),
-                  Table::num(static_cast<std::uint64_t>(
-                      ec.metrics.worst_case()))});
-      const auto mm = compute_matching(g, pf);
-      tracker.expect(is_maximal_matching(g, mm.in_matching),
-                     "T2 forest MM");
-      tf.add_row({"MM", Table::num(static_cast<std::uint64_t>(n)),
-                  Table::num(static_cast<std::uint64_t>(a)),
-                  Table::num(mm.metrics.vertex_averaged()),
-                  Table::num(static_cast<std::uint64_t>(
-                      mm.metrics.worst_case()))});
+                      r.metrics.worst_case()))});
     }
   }
   tf.print(std::cout);
 
   print_header("Table 2 — star unions (Delta >> a: VA independent of Delta)");
   Table ts({"problem", "n", "Delta", "VA", "WC"});
-  for (std::size_t n : {4096u, 32768u}) {
-    const Graph g = gen::star_union(n, 8);
+  {
     const PartitionParams ps{.arboricity = 2, .epsilon = 1.0};
-    const auto mis = compute_mis(g, ps);
-    tracker.expect(is_mis(g, mis.in_set), "T2 star MIS");
-    ts.add_row({"MIS", Table::num(static_cast<std::uint64_t>(n)),
-                Table::num(static_cast<std::uint64_t>(g.max_degree())),
-                Table::num(mis.metrics.vertex_averaged()),
-                Table::num(static_cast<std::uint64_t>(
-                    mis.metrics.worst_case()))});
-    const auto ec = compute_edge_coloring(g, ps);
-    tracker.expect(is_proper_edge_coloring(g, ec.color), "T2 star EC");
-    ts.add_row({"EC", Table::num(static_cast<std::uint64_t>(n)),
-                Table::num(static_cast<std::uint64_t>(g.max_degree())),
-                Table::num(ec.metrics.vertex_averaged()),
-                Table::num(static_cast<std::uint64_t>(
-                    ec.metrics.worst_case()))});
-    const auto mm = compute_matching(g, ps);
-    tracker.expect(is_maximal_matching(g, mm.in_matching), "T2 star MM");
-    ts.add_row({"MM", Table::num(static_cast<std::uint64_t>(n)),
-                Table::num(static_cast<std::uint64_t>(g.max_degree())),
-                Table::num(mm.metrics.vertex_averaged()),
-                Table::num(static_cast<std::uint64_t>(
-                    mm.metrics.worst_case()))});
+    std::vector<Graph> graphs;
+    std::vector<Cell> cells;
+    graphs.reserve(2);
+    for (std::size_t n : {4096u, 32768u}) {
+      graphs.push_back(gen::star_union(n, 8));
+      const Graph* g = &graphs.back();
+      cells.push_back({"MIS", "", n, g->max_degree(), "T2 star MIS",
+                       nullptr, nullptr, [g, &ps] {
+                         const auto r = compute_mis(*g, ps);
+                         return CellOut{is_mis(*g, r.in_set), true,
+                                        r.metrics};
+                       }});
+      cells.push_back({"EC", "", n, g->max_degree(), "T2 star EC",
+                       nullptr, nullptr, [g, &ps] {
+                         const auto r = compute_edge_coloring(*g, ps);
+                         return CellOut{
+                             is_proper_edge_coloring(*g, r.color), true,
+                             r.metrics};
+                       }});
+      cells.push_back({"MM", "", n, g->max_degree(), "T2 star MM",
+                       nullptr, nullptr, [g, &ps] {
+                         const auto r = compute_matching(*g, ps);
+                         return CellOut{
+                             is_maximal_matching(*g, r.in_matching),
+                             true, r.metrics};
+                       }});
+    }
+    const auto results = run_cells(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      const CellOut& r = results[i];
+      tracker.expect(r.ok, c.check);
+      ts.add_row({c.problem, Table::num(static_cast<std::uint64_t>(c.n)),
+                  Table::num(static_cast<std::uint64_t>(c.param)),
+                  Table::num(r.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(
+                      r.metrics.worst_case()))});
+    }
   }
   ts.print(std::cout);
 

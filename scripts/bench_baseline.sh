@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Snapshot the engine's round-throughput into BENCH_engine.json.
+#
+# Builds the "release" CMake preset (-O3 -DNDEBUG), runs the engine
+# micro fixtures (bench_micro, google-benchmark JSON) and the scaling /
+# trial-batch sweep (bench_engine_scaling with VALOCAL_BENCH_JSON set),
+# and appends one labelled snapshot to BENCH_engine.json at the repo
+# root. Snapshots are append-only: re-run after any engine-affecting
+# change and commit the refreshed file alongside it. The perf-smoke job
+# in scripts/run_all.sh compares against the LATEST snapshot.
+#
+# Usage: scripts/bench_baseline.sh [label]        (default: "snapshot")
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-snapshot}"
+MICRO_JSON="$(mktemp /tmp/valocal_bench_micro.XXXXXX.json)"
+SCALING_JSON="$(mktemp /tmp/valocal_bench_scaling.XXXXXX.json)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON"' EXIT
+
+cmake --preset release
+cmake --build --preset release --target bench_micro bench_engine_scaling
+
+build-release/bench/bench_micro \
+  --benchmark_filter='BM_Engine' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
+
+VALOCAL_BENCH_JSON="$SCALING_JSON" build-release/bench/bench_engine_scaling
+
+python3 scripts/perf_snapshot.py append "$LABEL" "$MICRO_JSON" "$SCALING_JSON"

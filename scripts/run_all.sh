@@ -77,4 +77,25 @@ fi
   done
 } 2>&1 | tee bench_output.txt
 
-echo "Done: test_output.txt, bench_output.txt"
+# perf-smoke job: rebuild the engine micro fixtures under the "release"
+# preset (-O3 -DNDEBUG — the configuration BENCH_engine.json records)
+# and compare round-throughput against the latest committed snapshot.
+# A >30% drop on any BM_Engine* fixture fails the script loudly; an
+# intended regression requires refreshing the baseline via
+# scripts/bench_baseline.sh and committing BENCH_engine.json.
+if [ -f BENCH_engine.json ] && command -v python3 >/dev/null 2>&1; then
+  cmake --preset release
+  cmake --build --preset release --target bench_micro
+  build-release/bench/bench_micro \
+    --benchmark_filter='BM_Engine' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out=perf_smoke_micro.json --benchmark_out_format=json \
+    2>&1 | tee perf_smoke_output.txt
+  python3 scripts/perf_snapshot.py check perf_smoke_micro.json 0.7 \
+    2>&1 | tee -a perf_smoke_output.txt
+else
+  echo "perf-smoke skipped (no BENCH_engine.json or python3)" \
+    | tee perf_smoke_output.txt
+fi
+
+echo "Done: test_output.txt, bench_output.txt, perf_smoke_output.txt"

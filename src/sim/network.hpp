@@ -15,6 +15,19 @@
 // computation or communication). Its last published state remains
 // visible to neighbors forever, but it executes no further rounds.
 //
+// Memory layout (zero-copy publication). States live in a flat double
+// buffer: two dense arrays of States plus one byte of publication
+// parity per vertex. In round r every stepped vertex writes its next
+// state DIRECTLY into its slot of buffer r mod 2 — no staging vectors,
+// no merge pass — and readers locate any vertex u's last published
+// state as buffer[parity[u]][u]. Active vertices republish every
+// round, so their parity is always (r-1) mod 2 during round r; a
+// terminated vertex's parity freezes at its final round, which keeps
+// its last published state visible forever without any copy-forward.
+// Parity stamps are advanced only at the round barrier, so no reader
+// can observe an in-progress slot. See docs/MODEL.md ("Engine memory
+// layout & batching").
+//
 // Algorithm interface (duck-typed; see LocalAlgorithm below):
 //
 //   struct MyAlgo {
@@ -39,7 +52,6 @@
 #include <concepts>
 #include <cstdint>
 #include <cstdio>
-#include <optional>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -55,12 +67,21 @@
 namespace valocal {
 
 /// Read-only window onto the previous round: own state plus the states
-/// of the (radius-1) neighborhood.
+/// of the (radius-1) neighborhood. Backed by the engine's epoch-stamped
+/// double buffer: vertex u's state is bufs[parity[u]][u], where
+/// parity[u] names the buffer u last published into (terminated
+/// vertices stop republishing, so their final state stays readable with
+/// no copy-forward). One view is constructed per work chunk and rebound
+/// per vertex; it never owns or copies state.
 template <class State>
 class RoundView {
  public:
-  RoundView(const Graph& g, std::span<const State> prev, Vertex v)
-      : graph_(&g), prev_(prev), v_(v) {}
+  RoundView(const Graph& g, const State* buf0, const State* buf1,
+            const std::uint8_t* pub_parity)
+      : graph_(&g), pub_parity_(pub_parity) {
+    bufs_[0] = buf0;
+    bufs_[1] = buf1;
+  }
 
   std::size_t degree() const { return graph_->degree(v_); }
 
@@ -75,7 +96,8 @@ class RoundView {
   Vertex neighbor(std::size_t i) const { return graph_->neighbors(v_)[i]; }
 
   const State& neighbor_state(std::size_t i) const {
-    return prev_[graph_->neighbors(v_)[i]];
+    const Vertex u = graph_->neighbors(v_)[i];
+    return bufs_[pub_parity_[u]][u];
   }
 
   /// Port of the shared edge within neighbor i's incident list — lets
@@ -86,17 +108,22 @@ class RoundView {
 
   /// State of a specific neighbor u (debug-checked to be adjacent).
   const State& state_of(Vertex u) const {
-    VALOCAL_DCHECK(graph_->has_edge(v_, u) ,
+    VALOCAL_DCHECK(graph_->has_edge(v_, u),
                    "LOCAL violation: reading a non-neighbor's state");
-    return prev_[u];
+    return bufs_[pub_parity_[u]][u];
   }
 
-  const State& self() const { return prev_[v_]; }
+  const State& self() const { return bufs_[pub_parity_[v_]][v_]; }
+
+  /// Engine-internal: retarget the view at another vertex (run_local
+  /// hoists view construction out of the per-vertex loop).
+  void rebind(Vertex v) { v_ = v; }
 
  private:
   const Graph* graph_;
-  std::span<const State> prev_;
-  Vertex v_;
+  const State* bufs_[2];
+  const std::uint8_t* pub_parity_;
+  Vertex v_ = 0;
 };
 
 /// Per-round verdict of a vertex. The paper (Section 2) modifies the
@@ -145,6 +172,33 @@ inline void set_engine_threads(std::size_t num_threads) {
 
 inline std::size_t engine_threads() { return detail_engine_threads(); }
 
+/// Thread-local override consulted BEFORE the process-wide default when
+/// RunOptions::num_threads is 0. The trial batcher (sim/batch.hpp)
+/// pins it to 1 on its pool workers so trials running concurrently
+/// cannot each spin up a nested parallel engine; 0 = no override.
+inline std::size_t& detail_engine_thread_override() {
+  static thread_local std::size_t threads = 0;
+  return threads;
+}
+
+/// RAII scope for the thread-local engine-thread override.
+class ScopedEngineThreadOverride {
+ public:
+  explicit ScopedEngineThreadOverride(std::size_t num_threads)
+      : previous_(detail_engine_thread_override()) {
+    detail_engine_thread_override() = num_threads;
+  }
+  ~ScopedEngineThreadOverride() {
+    detail_engine_thread_override() = previous_;
+  }
+  ScopedEngineThreadOverride(const ScopedEngineThreadOverride&) = delete;
+  ScopedEngineThreadOverride& operator=(const ScopedEngineThreadOverride&) =
+      delete;
+
+ private:
+  std::size_t previous_;
+};
+
 struct RunOptions {
   std::uint64_t seed = 0x5eedULL;
   /// Hard cap on rounds; 0 = automatic generous bound (64n + 100000).
@@ -153,7 +207,8 @@ struct RunOptions {
   /// number of still-active vertices, to make the runaway findable.
   std::size_t max_rounds = 0;
   /// Worker threads for the round loop. 1 = the serial engine;
-  /// 0 = inherit the process-wide default (set_engine_threads(),
+  /// 0 = inherit the thread-local override (ScopedEngineThreadOverride)
+  /// if set, else the process-wide default (set_engine_threads(),
   /// initially 1). Outputs and semantic Metrics (rounds,
   /// active_per_round) are byte-identical for every value — vertices
   /// are stepped against the previous round's double buffer with
@@ -178,10 +233,11 @@ struct RunResult {
 /// final_states, Metrics::rounds, and Metrics::active_per_round are
 /// byte-identical for every num_threads/grain combination: each active
 /// vertex is stepped exactly once per round against the previous
-/// round's double buffer with its own RNG stream, per-chunk staging
-/// buffers are merged in ascending-vertex order, and all per-vertex
-/// stamps (r(v), committed outputs) live in disjoint slots. Only
-/// Metrics::round_wall_ns (measured time) varies between runs.
+/// round's double buffer with its own RNG stream, every per-vertex
+/// write (next state, r(v), committed output, parity stamp) lands in a
+/// slot only that vertex touches, and the surviving-active list is
+/// merged in ascending-vertex chunk order — reproducing exactly the
+/// serial iteration.
 ///
 /// Output freezing. The first round in which a vertex returns kCommit
 /// or kTerminate fixes BOTH r(v) and its output: the engine snapshots
@@ -189,7 +245,8 @@ struct RunResult {
 /// may keep computing and relaying (kCommit), but nothing it does
 /// afterwards can alter the recorded output.
 ///
-/// Observability. When a trace sink is installed (trace::set_sink),
+/// Observability. When a trace sink is installed (trace::set_sink —
+/// the slot is thread-local; the engine consults the calling thread's),
 /// the engine reports one RoundEvent per round — active / charged /
 /// committed / terminated counts, published-state volume (sizeof
 /// (State) * degree summed over stepped vertices) and, for algorithms
@@ -206,13 +263,20 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   using State = typename A::State;
   using Output = typename A::Output;
   using Clock = std::chrono::steady_clock;
+  static_assert(std::is_default_constructible_v<Output>,
+                "run_local stores outputs in a dense array; Output must "
+                "be default-constructible");
   const std::size_t n = g.num_vertices();
 
   RunResult<A> result;
   result.metrics.rounds.assign(n, 0);
 
-  std::vector<State> cur(n);
-  for (Vertex v = 0; v < n; ++v) algo.init(v, g, cur[v]);
+  // The epoch-stamped double buffer (see file comment). init() is
+  // round 0's publication: every vertex publishes into buffer 0.
+  std::vector<State> buf0(n), buf1(n);
+  std::vector<std::uint8_t> pub_parity(n, 0);
+  for (Vertex v = 0; v < n; ++v) algo.init(v, g, buf0[v]);
+  State* const bufs[2] = {buf0.data(), buf1.data()};
 
   std::vector<Xoshiro256> rng;
   rng.reserve(n);
@@ -223,11 +287,19 @@ RunResult<A> run_local(const Graph& g, const A& algo,
 
   const std::size_t cap =
       opt.max_rounds != 0 ? opt.max_rounds : 64 * n + 100000;
+  const std::size_t thread_override = detail_engine_thread_override();
   const std::size_t num_threads =
-      opt.num_threads != 0 ? opt.num_threads : engine_threads();
+      opt.num_threads != 0
+          ? opt.num_threads
+          : (thread_override != 0 ? thread_override : engine_threads());
 
-  // Outputs snapshotted at commit/terminate time (see contract above).
-  std::vector<std::optional<Output>> committed(n);
+  // Outputs snapshotted at commit/terminate time (see contract above):
+  // dense array + committed bitmap, so the hot path never touches an
+  // optional's engaged flag and the final outputs vector is moved out
+  // wholesale. (vector<uint8_t>, not vector<bool>: distinct vertices
+  // must be writable concurrently.)
+  std::vector<Output> outputs(n);
+  std::vector<std::uint8_t> committed(n, 0);
 
   // Observer plumbing: `sink == nullptr` is the fast path — the
   // per-vertex branch below tests one pointer and nothing else runs.
@@ -245,55 +317,13 @@ RunResult<A> run_local(const Graph& g, const A& algo,
                        .seed = opt.seed},
         phase_names);
 
-  // Steps vertex v of `round`, staging its next state and (if it stays
-  // live) its id into the caller-provided buffers. Reads the shared
-  // double buffer `cur`; writes only v's own rng/rounds/committed
-  // slots (and the chunk-private trace counters) — safe to run
-  // concurrently for distinct vertices.
-  auto step_vertex = [&](Vertex v, std::size_t round,
-                         std::vector<std::pair<Vertex, State>>& staged,
-                         std::vector<Vertex>& still_active,
-                         trace::ChunkCounters* counters) {
-    if (counters != nullptr) {
-      if (!committed[v]) {
-        ++counters->charged;
-        if constexpr (trace::PhaseTraced<A>)
-          ++counters->phase_charged[algo.trace_phase_of(v, round,
-                                                        cur[v])];
-      }
-      counters->volume_bytes +=
-          static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
-    }
-    RoundView<State> view(g, {cur.data(), cur.size()}, v);
-    State next = cur[v];
-    StepResult verdict;
-    if constexpr (std::is_same_v<decltype(algo.step(v, round, view, next,
-                                                    rng[v])),
-                                 bool>) {
-      verdict = algo.step(v, round, view, next, rng[v])
-                    ? StepResult::kTerminate
-                    : StepResult::kContinue;
-    } else {
-      verdict = algo.step(v, round, view, next, rng[v]);
-    }
-    if (verdict != StepResult::kContinue && !committed[v]) {
-      result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
-      committed[v].emplace(algo.output(v, next));
-      if (counters != nullptr) ++counters->committed;
-    }
-    staged.emplace_back(v, std::move(next));
-    if (verdict != StepResult::kTerminate) still_active.push_back(v);
-    else if (counters != nullptr) ++counters->terminated;
-  };
-
   ThreadPool pool(num_threads);
-  // Per-chunk staging: chunk c covers active[c*grain, (c+1)*grain).
-  // Staged states keep per-round cost proportional to the number of
-  // *active* vertices — the quantity the paper's RoundSum counts — and
-  // give the parallel path its deterministic merge order. Trace
-  // counters follow the same scheme: chunk-private accumulation,
-  // merged by summation (order-independent, hence byte-deterministic).
-  std::vector<std::vector<std::pair<Vertex, State>>> chunk_staged;
+  // Per-chunk survivor lists give the parallel path its deterministic
+  // merge order (chunk c covers active[c*grain, (c+1)*grain), so chunk
+  // order IS ascending-vertex order); states themselves are published
+  // in place and never staged. Trace counters follow the same scheme:
+  // chunk-private accumulation, merged by summation
+  // (order-independent, hence byte-deterministic).
   std::vector<std::vector<Vertex>> chunk_active;
   std::vector<trace::ChunkCounters> chunk_counters;
   std::vector<std::size_t> round_phase_charged;
@@ -326,38 +356,74 @@ RunResult<A> run_local(const Graph& g, const A& algo,
                   64, (active.size() + 4 * num_threads - 1) /
                           (4 * num_threads));
     const std::size_t num_chunks = (active.size() + grain - 1) / grain;
-    if (chunk_staged.size() < num_chunks) {
-      chunk_staged.resize(num_chunks);
-      chunk_active.resize(num_chunks);
-    }
+    if (chunk_active.size() < num_chunks) chunk_active.resize(num_chunks);
     if (sink != nullptr && chunk_counters.size() < num_chunks)
       chunk_counters.resize(num_chunks);
+
+    // This round's write buffer. Every active vertex writes only its
+    // own slot; terminated vertices' slots in it are never written, so
+    // reads of their (other-parity) state stay safe.
+    State* const next_buf = bufs[round & 1];
 
     pool.parallel_for_chunks(
         active.size(), grain,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          auto& staged = chunk_staged[chunk];
           auto& still = chunk_active[chunk];
-          staged.clear();
           still.clear();
-          staged.reserve(end - begin);
           trace::ChunkCounters* counters = nullptr;
           if (sink != nullptr) {
             counters = &chunk_counters[chunk];
             counters->reset(num_phases);
           }
-          for (std::size_t i = begin; i < end; ++i)
-            step_vertex(active[i], round, staged, still, counters);
+          RoundView<State> view(g, bufs[0], bufs[1], pub_parity.data());
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vertex v = active[i];
+            const State& prev = bufs[pub_parity[v]][v];
+            if (counters != nullptr) {
+              if (!committed[v]) {
+                ++counters->charged;
+                if constexpr (trace::PhaseTraced<A>)
+                  ++counters->phase_charged[algo.trace_phase_of(v, round,
+                                                                prev)];
+              }
+              counters->volume_bytes +=
+                  static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
+            }
+            view.rebind(v);
+            State& next = next_buf[v];
+            next = prev;  // carry last published state forward
+            StepResult verdict;
+            if constexpr (std::is_same_v<decltype(algo.step(v, round,
+                                                            view, next,
+                                                            rng[v])),
+                                         bool>) {
+              verdict = algo.step(v, round, view, next, rng[v])
+                            ? StepResult::kTerminate
+                            : StepResult::kContinue;
+            } else {
+              verdict = algo.step(v, round, view, next, rng[v]);
+            }
+            if (verdict != StepResult::kContinue && !committed[v]) {
+              result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
+              outputs[v] = algo.output(v, next);
+              committed[v] = 1;
+              if (counters != nullptr) ++counters->committed;
+            }
+            if (verdict != StepResult::kTerminate) still.push_back(v);
+            else if (counters != nullptr) ++counters->terminated;
+          }
         });
 
-    // Deterministic merge: chunks in index order reproduce exactly the
-    // serial ascending-vertex iteration.
+    // Round barrier. Publish this round's writes by advancing the
+    // parity stamps of every stepped vertex (terminators freeze here,
+    // at their final round's parity), then merge the survivor lists in
+    // chunk order — exactly the serial ascending-vertex iteration.
+    const auto parity = static_cast<std::uint8_t>(round & 1);
+    for (Vertex v : active) pub_parity[v] = parity;
     still_active.clear();
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      for (auto& [v, s] : chunk_staged[c]) cur[v] = std::move(s);
+    for (std::size_t c = 0; c < num_chunks; ++c)
       still_active.insert(still_active.end(), chunk_active[c].begin(),
                           chunk_active[c].end());
-    }
     const std::size_t stepped = active.size();
     active.swap(still_active);
 
@@ -396,12 +462,18 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     sink->on_run_end(end);
   }
 
-  result.outputs.reserve(n);
+  // Every vertex that left the active set committed on the way out, so
+  // the dense array IS the output vector; the fallback only covers
+  // vertices that never ran (n == 0 is the only such case today).
   for (Vertex v = 0; v < n; ++v)
-    result.outputs.push_back(committed[v]
-                                 ? std::move(*committed[v])
-                                 : algo.output(v, cur[v]));
-  result.final_states = std::move(cur);
+    if (!committed[v]) outputs[v] = algo.output(v, bufs[pub_parity[v]][v]);
+  result.outputs = std::move(outputs);
+
+  // Collapse the double buffer into one final-states vector: buffer 0
+  // already holds every even-parity vertex's last state.
+  for (Vertex v = 0; v < n; ++v)
+    if (pub_parity[v] != 0) buf0[v] = std::move(buf1[v]);
+  result.final_states = std::move(buf0);
   return result;
 }
 

@@ -117,11 +117,17 @@ class TraceSink {
   virtual void on_phase_end(const char* /*name*/) {}
 };
 
-/// Process-wide sink slot. nullptr (the default) selects the
-/// null-observer fast path in both engines. Install/uninstall from the
-/// main thread only, never while a run is in flight.
+/// Per-thread sink slot. nullptr (the default) selects the
+/// null-observer fast path in both engines. The slot is thread_local:
+/// an engine run consults the sink of the thread that DISPATCHED it, so
+/// concurrent trials on different threads (sim/batch.hpp) each observe
+/// their own sink — or none — without racing on a shared pointer. A
+/// sink installed on the main thread is NOT visible to pool workers;
+/// run_batch bridges that gap by taping events per trial
+/// (trace/replay.hpp) and replaying them on the caller. Install or
+/// uninstall only between runs of the installing thread.
 inline TraceSink*& detail_sink() {
-  static TraceSink* sink = nullptr;
+  static thread_local TraceSink* sink = nullptr;
   return sink;
 }
 

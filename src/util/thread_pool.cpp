@@ -60,22 +60,10 @@ void ThreadPool::worker_loop(std::size_t slot) {
   }
 }
 
-void ThreadPool::parallel_for_chunks(
-    std::size_t total, std::size_t grain,
+void ThreadPool::dispatch(
+    std::size_t total, std::size_t grain, std::size_t num_chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>&
         fn) {
-  if (total == 0) return;
-  grain = std::max<std::size_t>(1, grain);
-  const std::size_t num_chunks = (total + grain - 1) / grain;
-
-  if (workers_.empty() || num_chunks == 1) {
-    for (std::size_t c = 0; c < num_chunks; ++c)
-      fn(c, c * grain, std::min(total, (c + 1) * grain));
-    load_[0].chunks += num_chunks;
-    load_[0].indices += total;
-    return;
-  }
-
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->total = total;

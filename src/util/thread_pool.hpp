@@ -59,10 +59,38 @@ class ThreadPool {
   /// (chunk_index = begin / grain). Blocks until every chunk has run;
   /// the calling thread participates. Not reentrant and not
   /// thread-safe: one job at a time, dispatched from one thread.
-  void parallel_for_chunks(
-      std::size_t total, std::size_t grain,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>&
-          fn);
+  ///
+  /// Guaranteed-serial fast path: with no workers (ThreadPool(1)) or a
+  /// single chunk, the loop below runs inline — no std::function is
+  /// materialized, no mutex, condition variable, or atomic is touched.
+  /// run_local leans on this: a serial run pays only the plain loop.
+  template <class Fn>
+  void parallel_for_chunks(std::size_t total, std::size_t grain,
+                           Fn&& fn) {
+    if (total == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t num_chunks = (total + grain - 1) / grain;
+    if (workers_.empty() || num_chunks == 1) {
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end =
+            total < begin + grain ? total : begin + grain;
+        fn(c, begin, end);
+      }
+      load_[0].chunks += num_chunks;
+      load_[0].indices += total;
+      return;
+    }
+    // Parallel path: box the callable BY REFERENCE (one captured
+    // pointer, within std::function's small-buffer optimization — no
+    // heap allocation per dispatch) and hand off to the out-of-line
+    // fork-join machinery.
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        boxed = [&fn](std::size_t c, std::size_t b, std::size_t e) {
+          fn(c, b, e);
+        };
+    dispatch(total, grain, num_chunks, boxed);
+  }
 
  private:
   // One fork-join dispatch. Workers copy the shared_ptr under the pool
@@ -83,6 +111,11 @@ class ThreadPool {
   /// `slot`; returns true if this call completed the job (ran its
   /// final outstanding chunk).
   bool run_chunks(Job& job, std::size_t slot);
+  /// Fork-join dispatch of an already-chunked job to the workers.
+  void dispatch(
+      std::size_t total, std::size_t grain, std::size_t num_chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>&
+          fn);
 
   std::vector<std::thread> workers_;
   std::vector<WorkerLoad> load_;

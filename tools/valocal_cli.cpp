@@ -24,6 +24,10 @@
 //              seed value (the VA measure maxes over ID assignments)
 //   --threads  engine worker threads (default 1; results are
 //              byte-identical for every value — see docs/MODEL.md)
+//   --batch-trials  run N independent trials (seeds seed..seed+N-1)
+//              through the trial batcher (sim/batch.hpp) and print the
+//              VA/WC distribution; with --threads T > 1 the trials run
+//              T at a time, byte-identical to the serial sweep
 //   --decay-csv    write the active-population decay series to a file
 //   --timings-csv  write per-round active counts + wall-clock to a file
 //   --rounds-csv   write the per-vertex round counts r(v) to a file
@@ -58,6 +62,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
+#include "sim/batch.hpp"
 #include "sim/metrics_io.hpp"
 #include "trace/collector.hpp"
 #include "trace/trace.hpp"
@@ -281,15 +286,141 @@ int run_algo(const CliArgs& args, const ReportOptions& opts, Graph& g) {
   return 2;
 }
 
+/// One trial's digest under --batch-trials: validity is checked with
+/// the pure predicates inside the (possibly concurrent) trial closure.
+struct TrialOutcome {
+  Metrics metrics;
+  bool ok = true;
+};
+
+/// --batch-trials N: run N independent trials of the selected
+/// algorithm (trial i uses seed `seed + i`; deterministic algorithms
+/// simply repeat) through run_batch and print the VA/WC distribution.
+/// The batch inherits the engine thread default (--threads), so
+/// `--threads 8 --batch-trials 32` shards the sweep 8 trials at a time
+/// — byte-identical to the serial sweep.
+int run_batched(const CliArgs& args, const Graph& g,
+                std::size_t trials) {
+  const auto a = static_cast<std::size_t>(args.get_int("a", 2));
+  const PartitionParams params{.arboricity = a,
+                               .epsilon = args.get_double("eps", 1.0)};
+  const int k = static_cast<int>(args.get_int("k", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string algo = args.get_string("algo", "a2logn");
+
+  std::function<TrialOutcome(std::size_t)> trial;
+  auto coloring = [&](auto compute) {
+    trial = [&g, compute](std::size_t i) {
+      const ColoringResult r = compute(i);
+      return TrialOutcome{r.metrics, is_proper_coloring(g, r.color)};
+    };
+  };
+  if (algo == "a2logn")
+    coloring([&g, params](std::size_t) {
+      return compute_coloring_a2logn(g, params);
+    });
+  else if (algo == "a2")
+    coloring([&g, params](std::size_t) {
+      return compute_coloring_a2(g, params);
+    });
+  else if (algo == "oa")
+    coloring([&g, params](std::size_t) {
+      return compute_coloring_oa(g, params);
+    });
+  else if (algo == "ka")
+    coloring([&g, params, k](std::size_t) {
+      return compute_coloring_ka(g, params, k);
+    });
+  else if (algo == "ka2")
+    coloring([&g, params, k](std::size_t) {
+      return compute_coloring_ka2(g, params, k);
+    });
+  else if (algo == "one_plus_eta")
+    coloring([&g, a](std::size_t) {
+      return compute_one_plus_eta(g, {.arboricity = a});
+    });
+  else if (algo == "delta_plus1")
+    coloring([&g, params](std::size_t) {
+      return compute_delta_plus1(g, params);
+    });
+  else if (algo == "rand_delta_plus1")
+    coloring([&g, seed](std::size_t i) {
+      return compute_rand_delta_plus1(g, seed + i);
+    });
+  else if (algo == "rand_a_loglog")
+    coloring([&g, params, seed](std::size_t i) {
+      return compute_rand_a_loglog(g, params, seed + i);
+    });
+  else if (algo == "be08")
+    coloring([&g, params](std::size_t) {
+      return compute_be08_arb_color(g, params);
+    });
+  else if (algo == "wc_delta")
+    coloring([&g](std::size_t) { return compute_wc_delta_plus1(g); });
+  else if (algo == "ring3")
+    coloring([&g](std::size_t) { return compute_ring_3coloring(g); });
+  else if (algo == "mis")
+    trial = [&g, params](std::size_t) {
+      const auto r = compute_mis(g, params);
+      return TrialOutcome{r.metrics, is_mis(g, r.in_set)};
+    };
+  else if (algo == "luby")
+    trial = [&g, seed](std::size_t i) {
+      const auto r = compute_luby_mis(g, seed + i);
+      return TrialOutcome{r.metrics, is_mis(g, r.in_set)};
+    };
+  else if (algo == "edge_coloring")
+    trial = [&g, params](std::size_t) {
+      const auto r = compute_edge_coloring(g, params);
+      return TrialOutcome{r.metrics,
+                          is_proper_edge_coloring(g, r.color) &&
+                              r.num_colors <= r.palette_bound};
+    };
+  else if (algo == "matching")
+    trial = [&g, params](std::size_t) {
+      const auto r = compute_matching(g, params);
+      return TrialOutcome{r.metrics,
+                          is_maximal_matching(g, r.in_matching)};
+    };
+  else {
+    std::cerr << "--batch-trials does not support algo '" << algo
+              << "'\n";
+    return 2;
+  }
+
+  const auto outcomes = run_batch(
+      trials, trial, {.trial_vertices = g.num_vertices()});
+
+  bool all_ok = true;
+  double mean_va = 0.0, max_va = 0.0;
+  std::size_t max_wc = 0;
+  std::uint64_t round_sum = 0;
+  for (const TrialOutcome& o : outcomes) {
+    all_ok = all_ok && o.ok;
+    const double va = o.metrics.vertex_averaged();
+    mean_va += va / static_cast<double>(trials);
+    max_va = std::max(max_va, va);
+    max_wc = std::max(max_wc, o.metrics.worst_case());
+    round_sum += o.metrics.round_sum();
+  }
+  std::cout << algo << " x" << trials << " trials (seeds " << seed
+            << ".." << seed + trials - 1 << "): valid="
+            << (all_ok ? "yes" : "NO") << "\n"
+            << "rounds: mean-VA=" << mean_va << " max-VA=" << max_va
+            << " max-WC=" << max_wc << " total-round-sum=" << round_sum
+            << "\n";
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
                     "avg-deg", "algo", "dot", "perm", "decay-csv",
-                    "threads", "timings-csv", "rounds-csv",
-                    "histogram-csv", "phase-table", "trace-json",
-                    "run-json"});
+                    "threads", "batch-trials", "timings-csv",
+                    "rounds-csv", "histogram-csv", "phase-table",
+                    "trace-json", "run-json"});
   set_engine_threads(
       static_cast<std::size_t>(args.get_int("threads", 1)));
 
@@ -328,7 +459,10 @@ int main(int argc, char** argv) {
             << " Delta=" << g.max_degree()
             << " degeneracy=" << degeneracy(g) << "\n";
 
-  const int rc = run_algo(args, opts, g);
+  const auto batch_trials =
+      static_cast<std::size_t>(args.get_int("batch-trials", 0));
+  const int rc = batch_trials > 1 ? run_batched(args, g, batch_trials)
+                                  : run_algo(args, opts, g);
 
   if (!trace_json.empty()) {
     std::ofstream os(trace_json);
