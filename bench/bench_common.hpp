@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "algo/hset_composition.hpp"
 #include "algo/partition.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -63,6 +64,15 @@ inline std::size_t configure_engine_threads() {
   set_engine_threads(threads);
   if (threads > 1)
     std::cout << "[engine: " << threads << " worker threads]\n";
+  // VALOCAL_SLEEP_HINTS=1 flips the engine-wide wake-scheduling
+  // default: hinted algorithms park idle vertices in the calendar
+  // queue instead of stepping them. Byte-identical results, so the
+  // tables never change; only throughput does.
+  if (const char* env = std::getenv("VALOCAL_SLEEP_HINTS");
+      env != nullptr && *env != '\0' && std::strtol(env, nullptr, 10) != 0) {
+    set_engine_sleep_hints(true);
+    std::cout << "[engine: wake scheduling (sleep hints) enabled]\n";
+  }
   configure_tracing();
   return threads;
 }
@@ -83,6 +93,42 @@ inline std::string fmt_ratio(double va, double wc) {
 
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Wait-heavy engine workload: the Section 6.2 H-set composition with
+/// a per-H-set subroutine that terminates after 2 of its 64 budgeted
+/// sub-rounds. Unjoined vertices therefore idle through ~63 no-op
+/// rounds of every block — exactly the regime wake scheduling
+/// (RunOptions::sleep_hints) turns from O(active) per round into
+/// O(awake + newly-woken). Used by bench_micro's BM_EngineWaitHeavy*
+/// fixtures and bench_engine_scaling's sleep-hints section.
+struct WaitHeavySub {
+  struct State {
+    std::uint64_t x = 1;
+  };
+  using Output = std::uint64_t;
+
+  std::size_t sub_rounds() const { return 64; }
+
+  bool step(Vertex v, std::size_t t, const SubView<State>& view,
+            State& next, Xoshiro256&) const {
+    std::uint64_t mix = next.x * 0x9e3779b97f4a7c15ULL + v + t;
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      if (view.same_set(i)) mix += view.neighbor_state(i).x;
+    next.x = mix;
+    return t >= 1;  // early exit after 2 sub-rounds of the 64 budgeted
+  }
+
+  Output output(Vertex, const State& s) const { return s.x; }
+
+  static constexpr bool uses_rng = false;
+};
+
+/// The wait-heavy workload's algorithm on n vertices (pair with
+/// adversarial_tree(n, params) so the partition peels slowly).
+inline HSetComposition<WaitHeavySub> wait_heavy_composition(
+    std::size_t n, const PartitionParams& params) {
+  return HSetComposition<WaitHeavySub>(n, params, WaitHeavySub{});
 }
 
 /// Marks a failed validation; benches report it and exit nonzero.

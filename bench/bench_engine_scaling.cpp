@@ -203,6 +203,57 @@ int run() {
   }
   bt.print(std::cout);
 
+  // Wake scheduling (sleep hints): the wait-heavy composition workload
+  // on the adversarial tree, hinted vs unhinted, serial engine. The
+  // identical column is the hard byte-equality check (outputs, r(v),
+  // n_i); speedup = unhinted_ms / hinted_ms is the round-loop
+  // throughput wake scheduling buys on an idle-dominated schedule.
+  print_header(
+      "Wake scheduling (sleep hints): wait-heavy composition, n = 2^16");
+  const std::size_t wn = 1 << 16;
+  const PartitionParams wparams{.arboricity = 1, .epsilon = 1.0};
+  const Graph wg = adversarial_tree(wn, wparams);
+  const auto walgo = wait_heavy_composition(wn, wparams);
+
+  double unhinted_ms = 0.0;
+  const auto wref = timed_best_of(
+      3,
+      [&] {
+        return run_local(wg, walgo, {.sleep_hints = SleepHints::kOff});
+      },
+      unhinted_ms);
+  double hinted_ms = 0.0;
+  const auto whinted = timed_best_of(
+      3,
+      [&] {
+        return run_local(wg, walgo, {.sleep_hints = SleepHints::kOn});
+      },
+      hinted_ms);
+
+  const bool widentical =
+      whinted.outputs == wref.outputs &&
+      whinted.metrics.rounds == wref.metrics.rounds &&
+      whinted.metrics.active_per_round == wref.metrics.active_per_round;
+  tracker.expect(widentical, "sleep-hints determinism (wait-heavy)");
+  tracker.expect(wref.metrics.skipped_steps == 0,
+                 "unhinted engine must skip nothing");
+  tracker.expect(whinted.metrics.skipped_steps > 0,
+                 "hinted engine must actually park vertices");
+
+  const double wspeedup = hinted_ms > 0 ? unhinted_ms / hinted_ms : 0.0;
+  Table wt({"engine", "best ms", "speedup", "skipped steps", "identical"});
+  wt.add_row({"unhinted", Table::num(unhinted_ms, 2), "1.00x",
+              Table::num(wref.metrics.skipped_steps), "yes"});
+  wt.add_row({"hinted", Table::num(hinted_ms, 2),
+              Table::num(wspeedup, 2) + "x",
+              Table::num(whinted.metrics.skipped_steps),
+              widentical ? "yes" : "NO"});
+  wt.print(std::cout);
+  json_rows().push_back({"sleep_hints", "wait_heavy_unhinted", 1, 1,
+                         unhinted_ms, 1.0, true});
+  json_rows().push_back({"sleep_hints", "wait_heavy_hinted", 1, 1,
+                         hinted_ms, wspeedup, widentical});
+
   std::cout << "\nDeterminism rows must all read 'yes' (byte-identical "
                "outputs, r(v), and n_i for every thread count). The "
                "speedup column tracks the host's real core count; on a "

@@ -10,14 +10,17 @@
 #include <map>
 
 #include "algo/coloring_a2logn.hpp"
+#include "algo/hset_composition.hpp"
 #include "algo/mis.hpp"
 #include "algo/partition.hpp"
 #include "algo/rand_delta_plus1.hpp"
 #include "algo/rings.hpp"
 #include "baseline/be08_arb_color.hpp"
 #include "baseline/luby_mis.hpp"
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "sim/network.hpp"
+#include "sim/wake_calendar.hpp"
 
 namespace valocal {
 namespace {
@@ -83,6 +86,59 @@ void BM_EngineA2LogN(benchmark::State& state) {
                           static_cast<std::int64_t>(stepped));
 }
 BENCHMARK(BM_EngineA2LogN)->Arg(1 << 12)->Arg(1 << 16);
+
+// Wait-heavy fixture pair: the composition workload whose subroutine
+// terminates early, so most vertex-rounds are idle waiting. Both
+// fixtures process the SAME stepped vertex-rounds (sleepers stay in
+// active_per_round by contract), so the hinted/unhinted
+// items_per_second ratio is exactly the round-loop speedup wake
+// scheduling buys; counters["skipped"] shows the steps it elided.
+void wait_heavy_fixture(benchmark::State& state, SleepHints hints) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = tree(n);
+  const PartitionParams params{.arboricity = 1, .epsilon = 1.0};
+  const auto algo = bench::wait_heavy_composition(n, params);
+  std::uint64_t stepped = 0;
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    auto result = run_local(g, algo, {.sleep_hints = hints});
+    stepped = stepped_vertex_rounds(result.metrics);
+    skipped = result.metrics.skipped_steps;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["stepped"] = static_cast<double>(stepped);
+  state.counters["skipped"] = static_cast<double>(skipped);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stepped));
+}
+void BM_EngineWaitHeavy(benchmark::State& state) {
+  wait_heavy_fixture(state, SleepHints::kOff);
+}
+BENCHMARK(BM_EngineWaitHeavy)->Arg(1 << 16);
+void BM_EngineWaitHeavyHinted(benchmark::State& state) {
+  wait_heavy_fixture(state, SleepHints::kOn);
+}
+BENCHMARK(BM_EngineWaitHeavyHinted)->Arg(1 << 16);
+
+// Calendar-queue microbenchmark: schedule n vertices across a 64-round
+// horizon and drain bucket by bucket — the two operations the wake
+// path adds to every engine round. items_per_second = vertices
+// scheduled + popped per second.
+void BM_EngineCalendarQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WakeCalendar cal;
+  for (auto _ : state) {
+    cal.reset(1);
+    for (Vertex v = 0; v < n; ++v) cal.schedule(v, 2 + (v & 63));
+    std::size_t drained = 0;
+    std::size_t round = 1;
+    while (cal.sleeping() > 0) drained += cal.take(round++).size();
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineCalendarQueue)->Arg(1 << 20);
 
 void BM_Partition(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

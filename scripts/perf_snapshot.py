@@ -28,13 +28,18 @@ def trim_micro(raw):
     for b in raw.get("benchmarks", []):
         if not b.get("name", "").startswith("BM_Engine"):
             continue
-        out.append({
+        entry = {
             "name": b["name"],
             "real_time_ns": b.get("real_time"),
             "cpu_time_ns": b.get("cpu_time"),
             "items_per_second": b.get("items_per_second"),
             "stepped": b.get("stepped"),
-        })
+        }
+        # Wake-scheduled fixtures report the vertex-rounds the engine
+        # elided; keep it so snapshots document hinted vs unhinted.
+        if b.get("skipped") is not None:
+            entry["skipped"] = b.get("skipped")
+        out.append(entry)
     return out
 
 

@@ -25,6 +25,13 @@ build/tools/valocal_cli --gen er --n 20000 --avg-deg 6 --a 6 \
   --run-json trace_output/rand.json \
   --trace-json trace_output/rand.trace.json \
   2>&1 | tee trace_output/rand.txt
+# Wake-scheduling smoke: the same deterministic workload with sleep
+# hints on must actually skip steps (recorded in the run record) while
+# test_wake_engine separately proves the results stay byte-identical.
+build/tools/valocal_cli --gen adversarial --n 65536 --algo ka2 \
+  --threads 4 --sleep-hints --phase-table \
+  --run-json trace_output/ka2_hinted.json \
+  2>&1 | tee trace_output/ka2_hinted.txt
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
@@ -43,6 +50,10 @@ for path in ("trace_output/a2logn.json", "trace_output/rand.json"):
             totals["round_sum"], f"{path}: phase sums != round_sum"
         assert any(r["volume_bytes"] > 0 for r in run["rounds"]), \
             f"{path}: no communication volume recorded"
+with open("trace_output/ka2_hinted.json") as f:
+    runs = [json.loads(line) for line in f]
+assert any(run["totals"].get("skipped_steps", 0) > 0 for run in runs), \
+    "ka2_hinted.json: wake scheduling skipped no steps"
 print("trace smoke: all emitted JSON parses and decomposes exactly")
 EOF
 else
@@ -56,9 +67,9 @@ fi
 if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /tmp/valocal_tsan_probe 2>/dev/null; then
   rm -f /tmp/valocal_tsan_probe
   cmake -B build-tsan -G Ninja -DVALOCAL_SANITIZE=thread
-  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox
+  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox' \
+    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine' \
     2>&1 | tee tsan_output.txt
 else
   echo "ThreadSanitizer unavailable; skipping TSan job" | tee tsan_output.txt

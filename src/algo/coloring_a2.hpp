@@ -53,6 +53,8 @@ class ColoringA2Algo {
     return static_cast<Output>(s.final_color);
   }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const;
 
   std::size_t phase1_sets() const { return t1_; }

@@ -42,6 +42,8 @@ class ColoringA2LogNAlgo {
     return static_cast<Output>(s.color);
   }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const { return family_->ground_size(); }
 
   // Trace phases (trace::PhaseTraced). Partition and coloring

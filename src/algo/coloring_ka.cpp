@@ -22,14 +22,13 @@ ColoringKaAlgo::ColoringKaAlgo(std::size_t num_vertices,
 
   const std::size_t block = 1 + tcol_;
   const std::size_t levels = params_.threshold() + 1;
-  std::size_t start = 1;
+  std::vector<std::size_t> region_lengths;
+  region_lengths.reserve(2 * segments_.size());
   for (const Segment& seg : segments_) {
-    region_start_.push_back(start);  // blocks region
-    start += seg.partition_rounds * block;
-    region_start_.push_back(start);  // recolor region
-    start += seg.partition_rounds * levels + 2;
+    region_lengths.push_back(seg.partition_rounds * block);
+    region_lengths.push_back(seg.partition_rounds * levels + 2);
   }
-  region_start_.push_back(start);  // end sentinel
+  timeline_ = SegmentTimeline(region_lengths);
 
   // Trace phase names: the store must never reallocate after the
   // c_str() pointers are taken.
@@ -49,15 +48,12 @@ bool ColoringKaAlgo::step(Vertex, std::size_t round,
                           const RoundView<State>& view, State& next,
                           Xoshiro256&) const {
   const auto& self = view.self();
-  std::size_t region = 0;
-  while (region + 1 < region_start_.size() &&
-         round >= region_start_[region + 1])
-    ++region;
-  VALOCAL_ENSURE(region + 1 < region_start_.size(),
+  const std::size_t region = timeline_.locate(round);
+  VALOCAL_ENSURE(region < timeline_.num_regions(),
                  "coloring_ka schedule exhausted with active vertices");
   const std::size_t seg_idx = region / 2;
   const Segment& seg = segments_[seg_idx];
-  const std::size_t rel = round - region_start_[region];
+  const std::size_t rel = round - timeline_.start(region);
   const auto in_seg = [&](std::int32_t h) {
     return h >= static_cast<std::int32_t>(seg.first_hset) &&
            h <= static_cast<std::int32_t>(seg.last_hset);
@@ -113,6 +109,47 @@ bool ColoringKaAlgo::step(Vertex, std::size_t round,
   next.final_color = static_cast<std::int64_t>(
       seg_idx * (a_bound + 1) + static_cast<std::size_t>(pick));
   return true;
+}
+
+std::size_t ColoringKaAlgo::next_wake(Vertex, std::size_t round,
+                                      const State& s) const {
+  const std::size_t region = timeline_.locate(round);
+  if (region >= timeline_.num_regions()) return round + 1;
+  const std::size_t seg_idx = region / 2;
+  const Segment& seg = segments_[seg_idx];
+
+  if (region % 2 != 0) {
+    // Recolor region. Participants poll their parents every round
+    // (data-dependent); everyone else (unjoined survivors) idles until
+    // the next segment's first partition round.
+    const bool in_seg =
+        s.hset >= static_cast<std::int32_t>(seg.first_hset) &&
+        s.hset <= static_cast<std::int32_t>(seg.last_hset);
+    return in_seg ? round + 1 : timeline_.start(region + 1);
+  }
+
+  // Blocks region: (1 + tcol) rounds per H-set of the segment.
+  const std::size_t block = 1 + tcol_;
+  const std::size_t rel = round - timeline_.start(region);
+  const std::size_t block_idx = rel / block;
+  const std::size_t pos = rel % block;
+  const std::size_t hset_index = seg.first_hset + block_idx;
+
+  if (s.hset == static_cast<std::int32_t>(hset_index)) {
+    // Running (or just joined) the current block: plan rounds follow
+    // until the block ends, then nothing until this segment recolors.
+    return pos < tcol_ ? round + 1 : timeline_.start(region + 1);
+  }
+  if (s.hset != 0) {
+    // Joined an earlier H-set of this segment: idle until recolor.
+    return timeline_.start(region + 1);
+  }
+  // Unjoined: idle through the plan rounds, wake at the next
+  // Procedure-Partition round — the next block of this segment, or the
+  // next segment's blocks region once this one is exhausted.
+  if (block_idx + 1 < seg.partition_rounds)
+    return timeline_.start(region) + (block_idx + 1) * block;
+  return timeline_.start(region + 2);
 }
 
 ColoringResult compute_coloring_ka(const Graph& g, PartitionParams params,

@@ -44,6 +44,14 @@ class ColoringKaAlgo {
     return static_cast<Output>(s.final_color);
   }
 
+  /// Wake hint (WakeHinted): joined vertices idle through other
+  /// H-sets' plan blocks (wake: their segment's recolor region);
+  /// unjoined vertices idle through plan rounds and foreign recolor
+  /// regions (wake: the next Procedure-Partition round).
+  std::size_t next_wake(Vertex, std::size_t round, const State& s) const;
+
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const {
     return static_cast<std::size_t>(k_) * (params_.threshold() + 1);
   }
@@ -59,13 +67,10 @@ class ColoringKaAlgo {
   }
   std::size_t trace_phase_of(Vertex, std::size_t round,
                              const State&) const {
-    std::size_t region = 0;
-    while (region + 1 < region_start_.size() &&
-           round >= region_start_[region + 1])
-      ++region;
+    const std::size_t region = timeline_.locate(round);
     const std::size_t seg_idx = region / 2;
     if (region % 2 != 0) return 3 * seg_idx + 2;
-    const std::size_t rel = round - region_start_[region];
+    const std::size_t rel = round - timeline_.start(region);
     return 3 * seg_idx + (rel % (1 + tcol_) == 0 ? 0 : 1);
   }
 
@@ -73,9 +78,8 @@ class ColoringKaAlgo {
   PartitionParams params_;
   int k_;
   std::vector<Segment> segments_;
-  // Per segment: [blocks region][recolor region]; region_start_ holds
-  // 2*segments + 1 entries (round numbers, 1-based).
-  std::vector<std::size_t> region_start_;
+  // Per segment: [blocks region][recolor region].
+  SegmentTimeline timeline_;
   std::shared_ptr<const DegPlusOnePlan> plan_;
   std::size_t tcol_ = 0;
   // Backing store for the c-strings handed out by trace_phases().

@@ -24,14 +24,13 @@ ColoringKa2Algo::ColoringKa2Algo(std::size_t num_vertices,
   // (ladder regions have max(1, S) rounds so degenerate tiny inputs
   // still get a terminating color-assignment round).
   const std::size_t lad = std::max<std::size_t>(1, steps_);
-  std::size_t start = 1;
+  std::vector<std::size_t> region_lengths;
+  region_lengths.reserve(2 * segments_.size());
   for (const Segment& seg : segments_) {
-    region_start_.push_back(start);        // partition region
-    start += seg.partition_rounds;
-    region_start_.push_back(start);        // ladder region
-    start += lad;
+    region_lengths.push_back(seg.partition_rounds);
+    region_lengths.push_back(lad);
   }
-  region_start_.push_back(start);  // end sentinel
+  timeline_ = SegmentTimeline(region_lengths);
 
   // Trace phase names, one per region; the store must never reallocate
   // after the c_str() pointers are taken.
@@ -58,15 +57,12 @@ bool ColoringKa2Algo::step(Vertex v, std::size_t round,
                            Xoshiro256&) const {
   const auto& self = view.self();
   // Locate the region: 2 regions per segment.
-  std::size_t region = 0;
-  while (region + 1 < region_start_.size() &&
-         round >= region_start_[region + 1])
-    ++region;
-  VALOCAL_ENSURE(region + 1 < region_start_.size(),
+  const std::size_t region = timeline_.locate(round);
+  VALOCAL_ENSURE(region < timeline_.num_regions(),
                  "coloring_ka2 schedule exhausted with active vertices");
   const std::size_t seg_idx = region / 2;
   const Segment& seg = segments_[seg_idx];
-  const std::size_t rel = round - region_start_[region];
+  const std::size_t rel = round - timeline_.start(region);
 
   if (region % 2 == 0) {
     // Partition region of this segment.
@@ -110,6 +106,25 @@ bool ColoringKa2Algo::step(Vertex v, std::size_t round,
     return true;
   }
   return false;
+}
+
+std::size_t ColoringKa2Algo::next_wake(Vertex, std::size_t round,
+                                       const State& s) const {
+  const std::size_t region = timeline_.locate(round);
+  if (region >= timeline_.num_regions()) return round + 1;
+  const Segment& seg = segments_[region / 2];
+  if (region % 2 == 0) {
+    // Partition region: joiners idle until this segment's ladder;
+    // unsettled vertices must attempt a join every round (the decision
+    // reads each round's fresh neighbor snapshot).
+    return s.hset == 0 ? round + 1 : timeline_.start(region + 1);
+  }
+  // Ladder region: participants run every round (parent colors are
+  // data-dependent); everyone else idles until the next region.
+  const bool in_seg =
+      s.hset >= static_cast<std::int32_t>(seg.first_hset) &&
+      s.hset <= static_cast<std::int32_t>(seg.last_hset);
+  return in_seg ? round + 1 : timeline_.start(region + 1);
 }
 
 ColoringResult compute_coloring_ka2(const Graph& g,

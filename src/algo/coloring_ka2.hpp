@@ -52,6 +52,14 @@ class ColoringKa2Algo {
     return static_cast<Output>(s.final_color);
   }
 
+  /// Wake hint (WakeHinted): a vertex that joined an H-set idles for
+  /// the rest of its partition region (wake: its ladder region's
+  /// start); an unsettled vertex idles through other segments' ladder
+  /// regions (wake: the next partition region's start).
+  std::size_t next_wake(Vertex, std::size_t round, const State& s) const;
+
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const;
   int k() const { return k_; }
   const std::vector<Segment>& segments() const { return segments_; }
@@ -64,18 +72,14 @@ class ColoringKa2Algo {
   }
   std::size_t trace_phase_of(Vertex, std::size_t round,
                              const State&) const {
-    std::size_t region = 0;
-    while (region + 1 < region_start_.size() &&
-           round >= region_start_[region + 1])
-      ++region;
-    return region;
+    return timeline_.locate(round);
   }
 
  private:
   PartitionParams params_;
   int k_;
   std::vector<Segment> segments_;
-  std::vector<std::size_t> region_start_;  // start round of each region
+  SegmentTimeline timeline_;  // two regions per segment
   std::shared_ptr<const ArbLinialLadder> ladder_;
   std::size_t steps_ = 0;
   std::size_t num_vertices_ = 0;

@@ -52,6 +52,8 @@ class ColoringOaAlgo {
     return static_cast<Output>(s.final_color);
   }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const {
     return 2 * (params_.threshold() + 1);
   }

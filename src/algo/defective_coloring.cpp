@@ -70,6 +70,8 @@ class ArbdefectiveLocalAlgo {
 
   Output output(Vertex, const State& s) const { return s.bucket; }
 
+  static constexpr bool uses_rng = false;
+
  private:
   std::size_t degree_bound_;
   std::size_t colors_;

@@ -55,6 +55,8 @@ class DeltaPlusOneAlgo {
 
   Output output(Vertex, const State& s) const { return s.color; }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const { return max_degree_ + 1; }
   const CompositionSchedule& schedule() const { return schedule_; }
 

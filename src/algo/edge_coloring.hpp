@@ -57,6 +57,8 @@ class EdgeColoringAlgo {
 
   Output output(Vertex, const State& s) const { return s.ecolor; }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound(std::size_t max_degree) const {
     return std::max<std::size_t>(1, 2 * max_degree - 1);
   }

@@ -68,6 +68,8 @@ class ForestDecompositionAlgo {
 
   Output output(Vertex, const State& s) const { return s.hset; }
 
+  static constexpr bool uses_rng = false;
+
   const PartitionParams& params() const { return params_; }
 
  private:

@@ -41,6 +41,15 @@ class GeneralPartitionAlgo {
 
   Output output(Vertex, const State& s) const { return s.hset; }
 
+  /// Wake hint (WakeHinted): necessarily trivial — every phase is a
+  /// join attempt against that round's fresh neighbor snapshot, so an
+  /// active vertex never has a skippable round.
+  std::size_t next_wake(Vertex, std::size_t round, const State&) const {
+    return round + 1;
+  }
+
+  static constexpr bool uses_rng = false;
+
   std::size_t phase_length() const { return phase_len_; }
   /// Threshold used in phase k (0-based): (2+eps) * 2^k, floored at
   /// 2*2^k + 1.

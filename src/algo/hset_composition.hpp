@@ -120,6 +120,22 @@ class HSetComposition {
     return sub_.output(v, s.sub);
   }
 
+  /// Wake hint (WakeHinted in sim/network.hpp). A vertex outside the
+  /// running H-set no-ops until the block schedule's next
+  /// Procedure-Partition round — position 0 of the next iteration —
+  /// so the engine may park it there. Vertices inside the running
+  /// block (and fresh joiners at position 0) step every round.
+  std::size_t next_wake(Vertex, std::size_t round,
+                        const State& s) const {
+    if (s.hset == static_cast<std::int32_t>(schedule_.iteration(round)))
+      return round + 1;
+    return round + (schedule_.block() - schedule_.position(round));
+  }
+
+  /// The composition itself never draws randomness; only the plugged
+  /// subroutine might.
+  static constexpr bool uses_rng = algorithm_uses_rng<Sub>;
+
   const CompositionSchedule& schedule() const { return schedule_; }
 
   // Trace phases (trace::PhaseTraced): the partition round of each

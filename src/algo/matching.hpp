@@ -54,6 +54,8 @@ class MatchingAlgo {
 
   Output output(Vertex, const State& s) const { return s.matched_edge; }
 
+  static constexpr bool uses_rng = false;
+
   const CompositionSchedule& schedule() const { return schedule_; }
   std::size_t line_palette() const {
     return std::max<std::size_t>(1, 2 * params_.threshold() - 1);

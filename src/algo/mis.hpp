@@ -38,6 +38,11 @@ class MisAlgo {
 
   Output output(Vertex, const State& s) const { return s.status; }
 
+  // Deliberately NOT WakeHinted: an undecided vertex checks every round
+  // whether a neighbor just entered the MIS (early domination exit), so
+  // no round is a skippable no-op.
+  static constexpr bool uses_rng = false;
+
   const CompositionSchedule& schedule() const { return schedule_; }
 
   // Trace phases (trace::PhaseTraced), keyed off the composition

@@ -98,6 +98,15 @@ class PartitionAlgo {
 
   Output output(Vertex, const State& s) const { return s.hset; }
 
+  /// Wake hint (WakeHinted): necessarily trivial — the join decision
+  /// reads each round's fresh active-neighbor snapshot, so no round is
+  /// a skippable no-op for a still-active vertex.
+  std::size_t next_wake(Vertex, std::size_t round, const State&) const {
+    return round + 1;
+  }
+
+  static constexpr bool uses_rng = false;
+
   const PartitionParams& params() const { return params_; }
 
   // Trace phases (trace::PhaseTraced): the whole run is one phase, but

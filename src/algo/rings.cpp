@@ -142,6 +142,16 @@ bool RingColoring3Algo::step(Vertex v, std::size_t round,
   return false;
 }
 
+std::size_t RingColoring3Algo::next_wake(Vertex, std::size_t round,
+                                         const State& s) const {
+  if (round < cv_rounds_) return round + 1;  // bit reduction every round
+  // Slots cv+1, cv+2, cv+3 retire colors 5, 4, 3; a vertex acts only
+  // in its own retirement slot and in the joint termination slot cv+3.
+  const std::size_t wake =
+      cv_rounds_ + (s.color >= 3 && s.color <= 5 ? 6 - s.color : 3);
+  return std::max(wake, round + 1);
+}
+
 ColoringResult compute_ring_3coloring(const Graph& ring) {
   VALOCAL_REQUIRE(ring.num_vertices() >= 3, "need a ring");
   const auto n = static_cast<Vertex>(ring.num_vertices());

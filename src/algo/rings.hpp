@@ -58,6 +58,11 @@ class LeaderElectionAlgo {
                   Xoshiro256&) const;
 
   Output output(Vertex, const State& s) const { return s.output; }
+
+  // Deliberately NOT WakeHinted: resigned candidates are pure relays
+  // yet refresh their nearest-candidate pointers every round, so no
+  // step is ever a skippable no-op.
+  static constexpr bool uses_rng = false;
 };
 
 struct LeaderElectionResult {
@@ -83,6 +88,14 @@ class RingColoring3Algo {
             State& next, Xoshiro256&) const;
 
   Output output(Vertex, const State& s) const { return s.final_color; }
+
+  /// Wake hint (WakeHinted): after Cole-Vishkin settles, the 6 -> 3
+  /// slots retire colors 5, 4, 3 in fixed rounds — a vertex whose
+  /// color is not scheduled for retirement idles until its slot (or
+  /// the joint termination round).
+  std::size_t next_wake(Vertex, std::size_t round, const State& s) const;
+
+  static constexpr bool uses_rng = false;
 
   std::size_t cv_rounds() const { return cv_rounds_; }
 

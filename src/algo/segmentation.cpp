@@ -50,4 +50,21 @@ std::size_t segment_of_hset(const std::vector<Segment>& segments,
   return 0;
 }
 
+SegmentTimeline::SegmentTimeline(
+    const std::vector<std::size_t>& region_lengths) {
+  start_.reserve(region_lengths.size() + 1);
+  std::size_t start = 1;
+  start_.push_back(start);
+  for (const std::size_t len : region_lengths) {
+    start += len;
+    start_.push_back(start);
+  }
+}
+
+std::size_t SegmentTimeline::locate(std::size_t round) const {
+  const auto it =
+      std::upper_bound(start_.begin(), start_.end(), round);
+  return static_cast<std::size_t>(it - start_.begin()) - 1;
+}
+
 }  // namespace valocal

@@ -42,4 +42,30 @@ std::vector<Segment> make_segments(std::size_t n, double eps, int k);
 std::size_t segment_of_hset(const std::vector<Segment>& segments,
                             std::size_t h);
 
+/// Region timetable of a segmentation-scheme run: consecutive regions
+/// of known lengths on the 1-based round axis (per segment, e.g. a
+/// partition region then a coloring region). Shared by coloring_ka /
+/// coloring_ka2 for region lookup in step(), trace phase attribution,
+/// and — because every region's start round is known up front — the
+/// engine's wake hints: a vertex with nothing to do until the next
+/// region sleeps to start(region + 1).
+class SegmentTimeline {
+ public:
+  SegmentTimeline() = default;
+  explicit SegmentTimeline(const std::vector<std::size_t>& region_lengths);
+
+  std::size_t num_regions() const {
+    return start_.empty() ? 0 : start_.size() - 1;
+  }
+  /// First round of `region`; start(num_regions()) is the exhaustion
+  /// sentinel (one past the final region's last round).
+  std::size_t start(std::size_t region) const { return start_[region]; }
+  /// Region containing `round` (rounds are 1-based); returns
+  /// num_regions() when the timetable is exhausted.
+  std::size_t locate(std::size_t round) const;
+
+ private:
+  std::vector<std::size_t> start_;  // region starts plus end sentinel
+};
+
 }  // namespace valocal

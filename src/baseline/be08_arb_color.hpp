@@ -47,6 +47,8 @@ class Be08ArbColorAlgo {
 
   Output output(Vertex, const State& s) const { return s.pick; }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const { return params_.threshold() + 1; }
   std::size_t schedule_length() const { return end_; }
 

@@ -45,6 +45,8 @@ class WorstCaseDeltaPlusOneAlgo {
     return static_cast<Output>(s.color);
   }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const {
     return static_cast<std::size_t>(plan_->palette());
   }

@@ -40,6 +40,8 @@ class WcEdgeColoringAlgo {
 
   Output output(Vertex, const State& s) const { return s.lcolor; }
 
+  static constexpr bool uses_rng = false;
+
   std::size_t palette_bound() const { return line_bound_ + 1; }
   std::size_t schedule_length() const { return plan_->num_rounds(); }
 

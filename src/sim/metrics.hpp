@@ -24,6 +24,11 @@ struct Metrics {
   // contract: it varies run to run and with the thread count — it
   // exists precisely so parallel-engine speedups are observable.
   std::vector<std::uint64_t> round_wall_ns;
+  // Vertex-rounds the wake-scheduled engine skipped (vertices parked
+  // in the calendar queue while counted in active_per_round). Always 0
+  // with sleep hints off. Simulator-cost accounting only: the skipped
+  // steps are provably no-ops, so no semantic field depends on this.
+  std::uint64_t skipped_steps = 0;
 
   std::uint64_t round_sum() const {
     std::uint64_t s = 0;

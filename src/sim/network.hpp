@@ -28,6 +28,18 @@
 // can observe an in-progress slot. See docs/MODEL.md ("Engine memory
 // layout & batching").
 //
+// Wake scheduling (opt-in, see WakeHinted / RunOptions::sleep_hints).
+// Algorithms whose vertices idle until a precomputed round — block
+// schedules, segment start rounds, phase boundaries — may declare a
+// next_wake() hint; the engine then parks such vertices in a calendar
+// queue (sim/wake_calendar.hpp) and skips their no-op steps, making
+// per-round cost O(awake + newly-woken) instead of O(active). A parked
+// vertex is exactly the terminated-vertex path generalized to "until
+// round T": its published state and parity freeze, then it rejoins the
+// frontier. Results are byte-identical to the unhinted engine;
+// Metrics::skipped_steps and the trace `asleep` field record the
+// simulator work saved.
+//
 // Algorithm interface (duck-typed; see LocalAlgorithm below):
 //
 //   struct MyAlgo {
@@ -48,10 +60,12 @@
 // exposes neighbor access.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -59,6 +73,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/wake_calendar.hpp"
 #include "trace/trace.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
@@ -155,6 +170,44 @@ concept LocalAlgorithm = requires(const A a, Vertex v, const Graph& g,
   { a.output(v, s) } -> std::same_as<typename A::Output>;
 };
 
+/// Opt-in wake-hint trait. An algorithm may declare
+///
+///   std::size_t next_wake(Vertex v, std::size_t round,
+///                         const State& next) const;
+///
+/// called by the engine AFTER a kContinue step, on the state the vertex
+/// just published. The return value is the next round in which the
+/// vertex's step is NOT a no-op; returning anything > round + 1 lets
+/// the engine park the vertex (skip its steps entirely) until that
+/// round. Soundness contract: every skipped step would have left the
+/// state unchanged, returned kContinue, and drawn nothing from the RNG
+/// — then the frozen published state is value-identical to what
+/// republication would have produced, and outputs, r(v), and RNG
+/// streams are byte-identical to the unhinted engine. Hints may be
+/// conservative (round + 1 is always sound) but never optimistic.
+template <class A>
+concept WakeHinted =
+    LocalAlgorithm<A> &&
+    requires(const A a, Vertex v, const typename A::State& s) {
+      { a.next_wake(v, std::size_t{1}, s) }
+          -> std::convertible_to<std::size_t>;
+    };
+
+/// Opt-in RNG trait: an algorithm whose step never draws from its RNG
+/// can declare `static constexpr bool uses_rng = false;` and the engine
+/// skips constructing the n per-vertex Xoshiro256 streams up front —
+/// O(n) setup that deterministic batch trials otherwise pay per run.
+/// Default (no declaration) preserves the original behavior.
+template <class A>
+inline constexpr bool algorithm_uses_rng = [] {
+  if constexpr (requires {
+                  { A::uses_rng } -> std::convertible_to<bool>;
+                })
+    return static_cast<bool>(A::uses_rng);
+  else
+    return true;
+}();
+
 /// Process-wide default worker-thread count for run_local, used by runs
 /// whose RunOptions::num_threads is 0 ("inherit"). Initially 1 (serial).
 /// Because the engine's results are byte-identical for every thread
@@ -199,6 +252,29 @@ class ScopedEngineThreadOverride {
   std::size_t previous_;
 };
 
+/// Per-run sleep-hint policy (see RunOptions::sleep_hints).
+enum class SleepHints : std::uint8_t {
+  kInherit = 0,  // follow the process-wide default (set_engine_sleep_hints)
+  kOn = 1,
+  kOff = 2,
+};
+
+/// Process-wide default for wake scheduling, consulted by runs whose
+/// RunOptions::sleep_hints is kInherit. Off by default: hints are a
+/// pure simulator-cost optimization (results are byte-identical either
+/// way), toggled once by tools/benches via --sleep-hints /
+/// VALOCAL_SLEEP_HINTS, mirroring set_engine_threads().
+inline bool& detail_engine_sleep_hints() {
+  static bool enabled = false;
+  return enabled;
+}
+
+inline void set_engine_sleep_hints(bool enabled) {
+  detail_engine_sleep_hints() = enabled;
+}
+
+inline bool engine_sleep_hints() { return detail_engine_sleep_hints(); }
+
 struct RunOptions {
   std::uint64_t seed = 0x5eedULL;
   /// Hard cap on rounds; 0 = automatic generous bound (64n + 100000).
@@ -218,6 +294,16 @@ struct RunOptions {
   /// Vertices per parallel work chunk; 0 = automatic. Purely a
   /// scheduling knob: any value yields identical results.
   std::size_t grain = 0;
+  /// Wake scheduling: when enabled and the algorithm satisfies
+  /// WakeHinted, vertices whose next_wake hint names a future round
+  /// are parked in a calendar queue and their no-op steps skipped —
+  /// per-round simulator cost drops from O(active) to
+  /// O(awake + newly-woken). Semantics are byte-for-byte unchanged
+  /// (outputs, r(v), active_per_round, RNG streams, semantic trace
+  /// fields); sleepers still count as active in active_per_round —
+  /// they ARE running in the LOCAL model, only the simulator skips
+  /// them. Metrics::skipped_steps records the saved work.
+  SleepHints sleep_hints = SleepHints::kInherit;
 };
 
 template <LocalAlgorithm A>
@@ -226,6 +312,64 @@ struct RunResult {
   std::vector<typename A::State> final_states;
   Metrics metrics;
 };
+
+namespace detail_engine {
+
+/// Reusable per-thread engine workspace. Everything run_local allocates
+/// that does NOT escape into the RunResult lives here, so repeated runs
+/// on the same thread — a batch worker draining same-graph trials, a
+/// pipeline of compute_* stages — reuse capacity instead of paying the
+/// allocator per trial. buf0 and the outputs vector are deliberately
+/// absent: they are moved into the result. Pooling buf1 is safe
+/// because every slot is whole-object assigned (`next = prev`) before
+/// any read; stale values from a previous run are never observed.
+template <class State>
+struct EngineScratch {
+  std::vector<State> buf1;
+  std::vector<std::uint8_t> pub_parity;
+  std::vector<std::uint8_t> committed;
+  std::vector<Xoshiro256> rng;
+  std::vector<Vertex> active;
+  std::vector<Vertex> still_active;
+  std::vector<Vertex> merged;
+  std::vector<std::vector<Vertex>> chunk_active;
+  std::vector<std::vector<std::pair<Vertex, std::size_t>>> chunk_sleepers;
+  std::vector<trace::ChunkCounters> chunk_counters;
+  std::vector<std::size_t> round_phase_charged;
+  WakeCalendar calendar;
+  bool in_use = false;
+};
+
+/// Leases the calling thread's scratch for one run_local invocation;
+/// if the thread's scratch is already leased (an algorithm re-entering
+/// run_local from inside a compute function), falls back to a fresh
+/// local workspace so nested runs never alias buffers.
+template <class State>
+class ScratchLease {
+ public:
+  ScratchLease() {
+    thread_local EngineScratch<State> scratch;
+    if (!scratch.in_use) {
+      scratch.in_use = true;
+      leased_ = &scratch;
+    }
+  }
+  ~ScratchLease() {
+    if (leased_ != nullptr) leased_->in_use = false;
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  EngineScratch<State>& operator*() {
+    return leased_ != nullptr ? *leased_ : fallback_;
+  }
+
+ private:
+  EngineScratch<State>* leased_ = nullptr;
+  EngineScratch<State> fallback_;
+};
+
+}  // namespace detail_engine
 
 /// Runs `algo` on `g` to completion and returns outputs plus metrics.
 ///
@@ -271,18 +415,34 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   RunResult<A> result;
   result.metrics.rounds.assign(n, 0);
 
+  // Thread-local workspace: non-escaping buffers keep their capacity
+  // across runs (see EngineScratch).
+  detail_engine::ScratchLease<State> lease;
+  detail_engine::EngineScratch<State>& ws = *lease;
+
   // The epoch-stamped double buffer (see file comment). init() is
   // round 0's publication: every vertex publishes into buffer 0.
-  std::vector<State> buf0(n), buf1(n);
-  std::vector<std::uint8_t> pub_parity(n, 0);
+  // buf0 is freshly constructed — init() may assume a default State —
+  // and escapes as final_states; buf1 is pooled (never read before
+  // whole-object assignment).
+  std::vector<State> buf0(n);
+  ws.buf1.resize(n);
+  auto& pub_parity = ws.pub_parity;
+  pub_parity.assign(n, 0);
   for (Vertex v = 0; v < n; ++v) algo.init(v, g, buf0[v]);
-  State* const bufs[2] = {buf0.data(), buf1.data()};
+  State* const bufs[2] = {buf0.data(), ws.buf1.data()};
 
-  std::vector<Xoshiro256> rng;
-  rng.reserve(n);
-  for (Vertex v = 0; v < n; ++v) rng.push_back(vertex_rng(opt.seed, v));
+  // Per-vertex RNG streams — skipped wholesale for algorithms that
+  // declare uses_rng = false (the streams would never be drawn from).
+  auto& rng = ws.rng;
+  if constexpr (algorithm_uses_rng<A>) {
+    rng.clear();
+    rng.reserve(n);
+    for (Vertex v = 0; v < n; ++v) rng.push_back(vertex_rng(opt.seed, v));
+  }
 
-  std::vector<Vertex> active(n);
+  auto& active = ws.active;
+  active.resize(n);
   for (Vertex v = 0; v < n; ++v) active[v] = v;
 
   const std::size_t cap =
@@ -293,13 +453,27 @@ RunResult<A> run_local(const Graph& g, const A& algo,
           ? opt.num_threads
           : (thread_override != 0 ? thread_override : engine_threads());
 
+  // Wake scheduling: compile-time capability (WakeHinted) gated by the
+  // per-run / process-wide toggle. With hints off (or an unhinted
+  // algorithm) the calendar stays empty and every path below reduces
+  // to the original engine.
+  bool sleep_hints = false;
+  if constexpr (WakeHinted<A>) {
+    sleep_hints =
+        opt.sleep_hints == SleepHints::kOn ||
+        (opt.sleep_hints == SleepHints::kInherit && engine_sleep_hints());
+  }
+  WakeCalendar& calendar = ws.calendar;
+  calendar.reset(1);
+
   // Outputs snapshotted at commit/terminate time (see contract above):
   // dense array + committed bitmap, so the hot path never touches an
   // optional's engaged flag and the final outputs vector is moved out
   // wholesale. (vector<uint8_t>, not vector<bool>: distinct vertices
   // must be writable concurrently.)
   std::vector<Output> outputs(n);
-  std::vector<std::uint8_t> committed(n, 0);
+  auto& committed = ws.committed;
+  committed.assign(n, 0);
 
   // Observer plumbing: `sink == nullptr` is the fast path — the
   // per-vertex branch below tests one pointer and nothing else runs.
@@ -324,26 +498,58 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   // in place and never staged. Trace counters follow the same scheme:
   // chunk-private accumulation, merged by summation
   // (order-independent, hence byte-deterministic).
-  std::vector<std::vector<Vertex>> chunk_active;
-  std::vector<trace::ChunkCounters> chunk_counters;
-  std::vector<std::size_t> round_phase_charged;
-  std::vector<Vertex> still_active;
+  auto& chunk_active = ws.chunk_active;
+  auto& chunk_sleepers = ws.chunk_sleepers;
+  auto& chunk_counters = ws.chunk_counters;
+  auto& round_phase_charged = ws.round_phase_charged;
+  auto& still_active = ws.still_active;
+  // Counters for parked vertices: sleepers are active in the LOCAL
+  // model, so when a sink is installed they must be charged each round
+  // exactly as the unhinted engine would — the engine walks the
+  // calendar (O(sleeping), only when traced) instead of stepping them.
+  trace::ChunkCounters sleep_counters;
 
   std::size_t round = 0;
-  while (!active.empty()) {
+  while (!active.empty() || calendar.sleeping() > 0) {
     ++round;
+    // Wake phase: pop this round's bucket (sorted ascending) and merge
+    // it into the (ascending) active frontier. A woken vertex whose
+    // frozen state sits in this round's WRITE buffer is first copied to
+    // the read side — otherwise its in-place `next = prev` would alias
+    // the slot neighbors are reading. The copy happens serially, before
+    // any reader runs, and preserves the published value exactly.
+    if (sleep_hints) {
+      std::vector<Vertex>& woken = calendar.take(round);
+      if (!woken.empty()) {
+        const auto write_parity = static_cast<std::uint8_t>(round & 1);
+        for (const Vertex v : woken) {
+          if (pub_parity[v] == write_parity) {
+            bufs[1 - write_parity][v] = bufs[write_parity][v];
+            pub_parity[v] = static_cast<std::uint8_t>(1 - write_parity);
+          }
+        }
+        auto& merged = ws.merged;
+        merged.clear();
+        merged.reserve(active.size() + woken.size());
+        std::merge(active.begin(), active.end(), woken.begin(),
+                   woken.end(), std::back_inserter(merged));
+        active.swap(merged);
+      }
+    }
+    const std::size_t asleep = calendar.sleeping();
     if (round > cap) {
       char msg[160];
       std::snprintf(msg, sizeof msg,
                     "round cap exceeded: round %llu with %llu vertices "
                     "still active (cap %llu) — non-terminating run?",
                     static_cast<unsigned long long>(round),
-                    static_cast<unsigned long long>(active.size()),
+                    static_cast<unsigned long long>(active.size() + asleep),
                     static_cast<unsigned long long>(cap));
       detail::contract_failure("invariant", "round <= cap", __FILE__,
                                __LINE__, msg);
     }
-    result.metrics.active_per_round.push_back(active.size());
+    result.metrics.active_per_round.push_back(active.size() + asleep);
+    result.metrics.skipped_steps += asleep;
     const auto round_start = Clock::now();
 
     // Chunk size only shapes the schedule, never the result; the
@@ -357,6 +563,8 @@ RunResult<A> run_local(const Graph& g, const A& algo,
                           (4 * num_threads));
     const std::size_t num_chunks = (active.size() + grain - 1) / grain;
     if (chunk_active.size() < num_chunks) chunk_active.resize(num_chunks);
+    if (sleep_hints && chunk_sleepers.size() < num_chunks)
+      chunk_sleepers.resize(num_chunks);
     if (sink != nullptr && chunk_counters.size() < num_chunks)
       chunk_counters.resize(num_chunks);
 
@@ -370,14 +578,28 @@ RunResult<A> run_local(const Graph& g, const A& algo,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           auto& still = chunk_active[chunk];
           still.clear();
+          std::vector<std::pair<Vertex, std::size_t>>* sleepers = nullptr;
+          if (sleep_hints) {
+            sleepers = &chunk_sleepers[chunk];
+            sleepers->clear();
+          }
           trace::ChunkCounters* counters = nullptr;
           if (sink != nullptr) {
             counters = &chunk_counters[chunk];
             counters->reset(num_phases);
           }
+          // Shared null stream for algorithms that never draw: keeps
+          // the step signature uniform without building n streams.
+          [[maybe_unused]] Xoshiro256 null_rng(0);
           RoundView<State> view(g, bufs[0], bufs[1], pub_parity.data());
           for (std::size_t i = begin; i < end; ++i) {
             const Vertex v = active[i];
+            Xoshiro256& vertex_stream = [&]() -> Xoshiro256& {
+              if constexpr (algorithm_uses_rng<A>)
+                return rng[v];
+              else
+                return null_rng;
+            }();
             const State& prev = bufs[pub_parity[v]][v];
             if (counters != nullptr) {
               if (!committed[v]) {
@@ -393,15 +615,15 @@ RunResult<A> run_local(const Graph& g, const A& algo,
             State& next = next_buf[v];
             next = prev;  // carry last published state forward
             StepResult verdict;
-            if constexpr (std::is_same_v<decltype(algo.step(v, round,
-                                                            view, next,
-                                                            rng[v])),
-                                         bool>) {
-              verdict = algo.step(v, round, view, next, rng[v])
+            if constexpr (std::is_same_v<
+                              decltype(algo.step(v, round, view, next,
+                                                 vertex_stream)),
+                              bool>) {
+              verdict = algo.step(v, round, view, next, vertex_stream)
                             ? StepResult::kTerminate
                             : StepResult::kContinue;
             } else {
-              verdict = algo.step(v, round, view, next, rng[v]);
+              verdict = algo.step(v, round, view, next, vertex_stream);
             }
             if (verdict != StepResult::kContinue && !committed[v]) {
               result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
@@ -409,8 +631,25 @@ RunResult<A> run_local(const Graph& g, const A& algo,
               committed[v] = 1;
               if (counters != nullptr) ++counters->committed;
             }
-            if (verdict != StepResult::kTerminate) still.push_back(v);
-            else if (counters != nullptr) ++counters->terminated;
+            if (verdict == StepResult::kTerminate) {
+              if (counters != nullptr) ++counters->terminated;
+            } else {
+              bool parked = false;
+              if constexpr (WakeHinted<A>) {
+                // Park a continuing vertex whose hint names a future
+                // round. Hints apply only to kContinue: a committed
+                // relay (kCommit) may still mutate state every round.
+                if (sleepers != nullptr &&
+                    verdict == StepResult::kContinue) {
+                  const std::size_t wake = algo.next_wake(v, round, next);
+                  if (wake > round + 1) {
+                    sleepers->emplace_back(v, wake);
+                    parked = true;
+                  }
+                }
+              }
+              if (!parked) still.push_back(v);
+            }
           }
         });
 
@@ -427,6 +666,29 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     const std::size_t stepped = active.size();
     active.swap(still_active);
 
+    // Sleeper accounting, BEFORE parking this round's new sleepers
+    // (those were stepped above and already counted by their chunks).
+    // A parked vertex is charged exactly as the unhinted engine would
+    // charge it: it is running, merely simulated for free.
+    if (sink != nullptr && asleep > 0) {
+      sleep_counters.reset(num_phases);
+      calendar.for_each_sleeping([&](Vertex v) {
+        if (!committed[v]) {
+          ++sleep_counters.charged;
+          if constexpr (trace::PhaseTraced<A>)
+            ++sleep_counters.phase_charged[algo.trace_phase_of(
+                v, round, bufs[pub_parity[v]][v])];
+        }
+        sleep_counters.volume_bytes +=
+            static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
+      });
+    }
+    if (sleep_hints) {
+      for (std::size_t c = 0; c < num_chunks; ++c)
+        for (const auto& [v, wake] : chunk_sleepers[c])
+          calendar.schedule(v, wake);
+    }
+
     result.metrics.round_wall_ns.push_back(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             Clock::now() - round_start)
@@ -435,7 +697,8 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     if (sink != nullptr) {
       trace::RoundEvent event;
       event.round = round;
-      event.active = stepped;
+      event.active = stepped + asleep;
+      event.asleep = asleep;
       round_phase_charged.assign(num_phases, 0);
       for (std::size_t c = 0; c < num_chunks; ++c) {
         const auto& counters = chunk_counters[c];
@@ -445,6 +708,12 @@ RunResult<A> run_local(const Graph& g, const A& algo,
         event.volume_bytes += counters.volume_bytes;
         for (std::size_t p = 0; p < num_phases; ++p)
           round_phase_charged[p] += counters.phase_charged[p];
+      }
+      if (asleep > 0) {
+        event.charged += sleep_counters.charged;
+        event.volume_bytes += sleep_counters.volume_bytes;
+        for (std::size_t p = 0; p < num_phases; ++p)
+          round_phase_charged[p] += sleep_counters.phase_charged[p];
       }
       event.wall_ns = result.metrics.round_wall_ns.back();
       event.phase_charged = round_phase_charged;
@@ -458,6 +727,7 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     end.round_sum = result.metrics.round_sum();
     end.worst_case = result.metrics.worst_case();
     end.wall_ns = result.metrics.total_wall_ns();
+    end.skipped_steps = result.metrics.skipped_steps;
     end.worker_load = pool.worker_load();
     sink->on_run_end(end);
   }
@@ -470,9 +740,11 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   result.outputs = std::move(outputs);
 
   // Collapse the double buffer into one final-states vector: buffer 0
-  // already holds every even-parity vertex's last state.
+  // already holds every even-parity vertex's last state. (buf1 is the
+  // pooled workspace buffer; moved-from slots are fine, the next run
+  // whole-assigns them.)
   for (Vertex v = 0; v < n; ++v)
-    if (pub_parity[v] != 0) buf0[v] = std::move(buf1[v]);
+    if (pub_parity[v] != 0) buf0[v] = std::move(ws.buf1[v]);
   result.final_states = std::move(buf0);
   return result;
 }

@@ -99,6 +99,7 @@ void TraceCollector::on_round(const RoundEvent& event) {
   RoundSample sample;
   sample.round = event.round;
   sample.active = event.active;
+  sample.asleep = event.asleep;
   sample.charged = event.charged;
   sample.committed = event.committed;
   sample.terminated = event.terminated;
@@ -117,6 +118,7 @@ void TraceCollector::on_run_end(const RunEndEvent& event) {
   run.worst_case = event.worst_case;
   run.wall_ns = event.wall_ns;
   run.messages = event.messages;
+  run.skipped_steps = event.skipped_steps;
   run.worker_chunks.clear();
   run.worker_indices.clear();
   for (const auto& load : event.worker_load) {
@@ -213,6 +215,9 @@ void TraceCollector::print_phase_table(std::ostream& os) const {
     table.print(os);
     os << "volume: " << volume << " bytes published";
     if (run.messages > 0) os << ", " << run.messages << " messages";
+    if (run.skipped_steps > 0)
+      os << "; wake scheduling skipped " << run.skipped_steps
+         << " sleeping vertex-rounds";
     os << "\n\n";
   }
 }
@@ -264,14 +269,19 @@ void TraceCollector::write_run_records_jsonl(std::ostream& os,
        << ",\"worst_case\":" << run.worst_case
        << ",\"volume_bytes\":" << volume
        << ",\"messages\":" << run.messages;
+    // Emitted only when wake scheduling actually skipped work, so
+    // hints-off records keep their exact historical byte layout.
+    if (run.skipped_steps > 0)
+      os << ",\"skipped_steps\":" << run.skipped_steps;
     if (include_timing) os << ",\"wall_ns\":" << run.wall_ns;
     os << "},\"rounds\":[";
     bool first_round = true;
     for (const RoundSample& r : run.rounds) {
       if (!first_round) os << ',';
       first_round = false;
-      os << "{\"round\":" << r.round << ",\"active\":" << r.active
-         << ",\"charged\":" << r.charged
+      os << "{\"round\":" << r.round << ",\"active\":" << r.active;
+      if (r.asleep > 0) os << ",\"asleep\":" << r.asleep;
+      os << ",\"charged\":" << r.charged
          << ",\"committed\":" << r.committed
          << ",\"terminated\":" << r.terminated
          << ",\"volume_bytes\":" << r.volume_bytes;

@@ -33,6 +33,7 @@ namespace valocal::trace {
 struct RoundSample {
   std::size_t round = 0;
   std::size_t active = 0;
+  std::size_t asleep = 0;  // parked by wake scheduling (0 hints-off)
   std::size_t charged = 0;
   std::size_t committed = 0;
   std::size_t terminated = 0;
@@ -58,6 +59,7 @@ struct RunRecord {
   std::size_t worst_case = 0;
   std::uint64_t wall_ns = 0;
   std::uint64_t messages = 0;
+  std::uint64_t skipped_steps = 0;  // wake-scheduling savings (0 hints-off)
   std::vector<std::uint64_t> worker_chunks;   // schedule-dependent
   std::vector<std::uint64_t> worker_indices;  // schedule-dependent
   double begin_us = 0.0;  // relative to the collector's epoch

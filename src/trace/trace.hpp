@@ -68,7 +68,14 @@ struct RunInfo {
 /// All fields except wall_ns are semantic (determinism contract).
 struct RoundEvent {
   std::size_t round = 0;       // 1-based engine round
-  std::size_t active = 0;      // vertices stepped this round
+  /// Vertices running this round in the LOCAL-model sense: stepped
+  /// plus asleep. Identical with sleep hints on or off.
+  std::size_t active = 0;
+  /// Of `active`, the vertices the wake-scheduled engine parked (their
+  /// no-op steps were skipped). 0 with sleep hints off. Semantic under
+  /// a FIXED hint setting, but intentionally different between hinted
+  /// and unhinted runs — it measures the simulator work saved.
+  std::size_t asleep = 0;
   std::size_t charged = 0;     // round-sum contribution (r(v) still open)
   std::size_t committed = 0;   // outputs frozen this round (r(v) stamped)
   std::size_t terminated = 0;  // vertices that stopped executing
@@ -95,6 +102,9 @@ struct RunEndEvent {
   std::uint64_t wall_ns = 0;      // NOT semantic
   /// Total messages including init-round pre-sends (mailbox engine).
   std::uint64_t messages = 0;
+  /// Total vertex-rounds skipped by wake scheduling (sum of the
+  /// per-round `asleep` counts); 0 with sleep hints off.
+  std::uint64_t skipped_steps = 0;
   /// Per-thread chunk/index counters from the engine's pool (slot 0 =
   /// the dispatching thread). Schedule-dependent — load-imbalance
   /// evidence, not semantic. Empty for the mailbox engine.

@@ -180,6 +180,42 @@ TEST(Batch, TracedRunRecordsDoNotInterleave) {
   }
 }
 
+TEST(Batch, WorkspaceReuseAcrossGraphSizesIsByteIdentical) {
+  // The engine's thread-local scratch workspace is reused across
+  // run_local calls. Alternating large/small graphs on the same thread
+  // forces every pooled buffer to grow and shrink between runs; any
+  // stale bytes leaking from a previous (larger) run show up as a
+  // mismatch against the same trial computed in a different order.
+  const GossipAlgo algo;
+  const std::size_t sizes[] = {350, 60, 500, 40, 220};
+  std::vector<Graph> graphs;
+  graphs.reserve(std::size(sizes));
+  for (std::size_t i = 0; i < std::size(sizes); ++i)
+    graphs.push_back(gen::forest_union(sizes[i], 2, 31 + i));
+  auto trial = [&](std::size_t i) {
+    return run_local(graphs[i], algo, {.seed = 900 + i});
+  };
+
+  std::vector<GossipResult> reference(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) reference[i] = trial(i);
+
+  // Recompute in reverse, twice, on this same thread: every run leases
+  // the workspace the previous (differently-sized) run dirtied.
+  for (std::size_t pass = 0; pass < 2; ++pass)
+    for (std::size_t i = graphs.size(); i-- > 0;)
+      expect_identical(trial(i), reference[i],
+                       "reuse pass=" + std::to_string(pass) +
+                           " trial=" + std::to_string(i));
+
+  // Sharded batch: each pool worker's workspace sees several sizes.
+  const auto results =
+      run_batch(graphs.size(), trial,
+                {.num_threads = 2, .mode = BatchOptions::Mode::kPerTrial});
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    expect_identical(results[i], reference[i],
+                     "sharded trial=" + std::to_string(i));
+}
+
 TEST(Batch, EmptyAndSingleTrialEdgeCases) {
   const Graph g = gen::ring(32);
   const GossipAlgo algo;

@@ -24,6 +24,9 @@
 //              seed value (the VA measure maxes over ID assignments)
 //   --threads  engine worker threads (default 1; results are
 //              byte-identical for every value — see docs/MODEL.md)
+//   --sleep-hints  enable wake scheduling: hinted algorithms park
+//              idle vertices in a calendar queue instead of stepping
+//              them (byte-identical results — see docs/MODEL.md)
 //   --batch-trials  run N independent trials (seeds seed..seed+N-1)
 //              through the trial batcher (sim/batch.hpp) and print the
 //              VA/WC distribution; with --threads T > 1 the trials run
@@ -420,9 +423,10 @@ int main(int argc, char** argv) {
                     "avg-deg", "algo", "dot", "perm", "decay-csv",
                     "threads", "batch-trials", "timings-csv",
                     "rounds-csv", "histogram-csv", "phase-table",
-                    "trace-json", "run-json"});
+                    "trace-json", "run-json", "sleep-hints"});
   set_engine_threads(
       static_cast<std::size_t>(args.get_int("threads", 1)));
+  set_engine_sleep_hints(args.get_bool("sleep-hints", false));
 
   Graph g = make_graph(args);
   if (args.has("perm")) {
