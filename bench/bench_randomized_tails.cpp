@@ -4,15 +4,16 @@
 // report the distribution of the vertex-averaged complexity — the
 // claim predicts a tight, n-independent concentration of VA while the
 // worst-case column keeps its O(log n) w.h.p. tail.
+//
+// The algorithms come from the registry's BenchSection::kRandTails
+// rows; each row carries its seed base and tracker label, and
+// registry::run_trials supplies the parallel seed sweep.
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
-#include "algo/rand_a_loglog.hpp"
-#include "algo/rand_delta_plus1.hpp"
 #include "bench_common.hpp"
-#include "sim/batch.hpp"
-#include "validate/validate.hpp"
+#include "registry/registry.hpp"
 
 namespace valocal::bench {
 namespace {
@@ -22,58 +23,41 @@ struct Distribution {
   std::size_t max_wc = 0;
 };
 
-/// Runs the seed sweep through the trial batcher (parallel across
-/// seeds when VALOCAL_THREADS > 1, byte-identical to the serial loop),
-/// then validates and aggregates serially — `validate` may touch
-/// shared state (the tracker); `run` must not.
-template <class Run, class Validate>
-Distribution sweep_seeds(std::size_t trials, std::size_t trial_vertices,
-                         Run&& run, Validate&& validate) {
-  const auto results =
-      run_batch(trials, run, {.trial_vertices = trial_vertices});
-  Distribution d;
-  for (const ColoringResult& r : results) {
-    validate(r);
-    const double va = r.metrics.vertex_averaged();
-    d.mean_va += va / static_cast<double>(trials);
-    d.max_va = std::max(d.max_va, va);
-    d.max_wc = std::max(d.max_wc, r.metrics.worst_case());
-  }
-  return d;
-}
-
 int run() {
   ValidationTracker tracker;
-  const PartitionParams params{.arboricity = 1, .epsilon = 2.0};
+  const auto& reg = registry::Registry::instance();
   constexpr std::size_t kTrials = 32;
 
   print_header(
       "Theorem 9.1/9.2 w.h.p. tails — VA over 32 seeds per size");
   Table t({"algorithm", "n", "mean VA", "max VA", "max WC"});
+  const auto plans = reg.rows_for(registry::BenchSection::kRandTails);
   for (std::size_t n : {1 << 10, 1 << 13, 1 << 16}) {
-    const Graph g = adversarial_tree(n, params);
-    const auto d1 = sweep_seeds(
-        kTrials, n,
-        [&](std::size_t s) { return compute_rand_delta_plus1(g, 1000 + s); },
-        [&](const ColoringResult& r) {
-          tracker.expect(is_proper_coloring(g, r.color), "9.1 proper");
-        });
-    t.add_row({"rand_delta_plus1 (9.1)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(d1.mean_va), Table::num(d1.max_va),
-               Table::num(static_cast<std::uint64_t>(d1.max_wc))});
-    const auto d2 = sweep_seeds(
-        kTrials, n,
-        [&](std::size_t s) {
-          return compute_rand_a_loglog(g, params, 2000 + s);
-        },
-        [&](const ColoringResult& r) {
-          tracker.expect(is_proper_coloring(g, r.color), "9.2 proper");
-        });
-    t.add_row({"rand_a_loglog (9.2)",
-               Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(d2.mean_va), Table::num(d2.max_va),
-               Table::num(static_cast<std::uint64_t>(d2.max_wc))});
+    const Graph g = adversarial_tree(
+        n, PartitionParams{.arboricity = 1, .epsilon = 2.0});
+    for (const registry::RowPlan& rp : plans) {
+      // run_trials runs trial i on seed seed_base + i through the
+      // trial batcher (parallel across seeds when VALOCAL_THREADS > 1,
+      // byte-identical to the serial loop); the spec's validator runs
+      // inside each trial, so aggregation below is pure bookkeeping.
+      const auto results = registry::run_trials(
+          *rp.spec, g,
+          registry::AlgoParams{.arboricity = 1,
+                               .epsilon = 2.0,
+                               .seed = rp.row->seed_base},
+          kTrials);
+      Distribution d;
+      for (const registry::SolveOutcome& o : results) {
+        tracker.expect(o.valid, rp.row->check);
+        const double va = o.metrics.vertex_averaged();
+        d.mean_va += va / static_cast<double>(kTrials);
+        d.max_va = std::max(d.max_va, va);
+        d.max_wc = std::max(d.max_wc, o.metrics.worst_case());
+      }
+      t.add_row({rp.row->row, Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(d.mean_va), Table::num(d.max_va),
+                 Table::num(static_cast<std::uint64_t>(d.max_wc))});
+    }
   }
   t.print(std::cout);
 

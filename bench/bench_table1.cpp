@@ -7,48 +7,49 @@
 // log n. Workloads: the adversarial (A+1)-ary tree (partition lower
 // bound regime) and random forest unions; see DESIGN.md experiment ids
 // T1.1-T1.9, Thm 7.6, Thm 7.9.
-#include <functional>
+//
+// The rows themselves come from the algorithm registry: every
+// BenchSection::kTable1* row plan (label, k override) is declared next
+// to its algorithm's compute_* entry point, so adding an algorithm to
+// the table is one registration edit, not a bench edit.
 #include <iostream>
 
-#include "algo/coloring_a2.hpp"
-#include "algo/coloring_a2logn.hpp"
-#include "algo/coloring_ka.hpp"
-#include "algo/coloring_ka2.hpp"
-#include "algo/coloring_oa.hpp"
-#include "algo/delta_plus1.hpp"
-#include "algo/one_plus_eta.hpp"
-#include "algo/rand_a_loglog.hpp"
-#include "algo/rand_delta_plus1.hpp"
-#include "baseline/be08_arb_color.hpp"
-#include "baseline/wc_delta_plus1.hpp"
 #include "bench_common.hpp"
+#include "registry/registry.hpp"
 #include "sim/batch.hpp"
-#include "util/mathx.hpp"
-#include "validate/validate.hpp"
 
 namespace valocal::bench {
 namespace {
 
+using registry::AlgoParams;
+using registry::BenchSection;
+using registry::RowPlan;
+using registry::SolveOutcome;
+
 /// One table cell's compute job, batched across the thread pool via
 /// run_batch (results are byte-identical to the serial loop; rows and
 /// validation are emitted serially afterwards, so the tables read the
-/// same for every VALOCAL_THREADS).
+/// same for every VALOCAL_THREADS). The spec's validator runs inside
+/// the (possibly concurrent) job — it is a pure predicate.
 struct Cell {
+  const registry::AlgoSpec* spec = nullptr;
   const char* row;
   const char* algo;
   std::size_t n = 0;
   std::size_t param = 0;  // block-specific (arboricity a, ...)
   const Graph* g = nullptr;
-  std::function<ColoringResult()> compute;
+  AlgoParams params;
 };
 
-std::vector<ColoringResult> run_cells(const std::vector<Cell>& cells) {
-  return run_batch(cells.size(),
-                   [&](std::size_t i) { return cells[i].compute(); });
+std::vector<SolveOutcome> run_cells(const std::vector<Cell>& cells) {
+  return run_batch(cells.size(), [&](std::size_t i) {
+    return cells[i].spec->run(*cells[i].g, cells[i].params);
+  });
 }
 
 int run() {
   ValidationTracker tracker;
+  const auto& reg = registry::Registry::instance();
   // epsilon = 2 (as in Sections 7.8/9.3): segment budgets shrink to
   // log^(i) n rounds and the adversarial tree (threshold+1 = 5-ary)
   // stays deeper than the first segment, so the k-segment rows show
@@ -59,91 +60,70 @@ int run() {
 
   auto add = [&](Table& t, const std::string& row,
                  const std::string& algo, std::size_t n,
-                 const ColoringResult& r, const Graph& g) {
-    tracker.expect(is_proper_coloring(g, r.color), row + " @" + algo);
+                 const SolveOutcome& o) {
+    tracker.expect(o.valid, row + " @" + algo);
     t.add_row({row, algo, Table::num(static_cast<std::uint64_t>(n)),
-               Table::num(static_cast<std::uint64_t>(r.num_colors)),
-               Table::num(r.metrics.vertex_averaged()),
+               Table::num(static_cast<std::uint64_t>(o.num_colors)),
+               Table::num(o.metrics.vertex_averaged()),
                Table::num(static_cast<std::uint64_t>(
-                   r.metrics.worst_case())),
-               fmt_ratio(r.metrics.vertex_averaged(),
-                         static_cast<double>(r.metrics.worst_case()))});
+                   o.metrics.worst_case())),
+               fmt_ratio(o.metrics.vertex_averaged(),
+                         static_cast<double>(o.metrics.worst_case()))});
   };
 
   print_header(
       "Table 1 — deterministic rows, adversarial (A+1)-ary tree, a=1");
   Table t1({"row", "algorithm", "n", "colors", "VA", "WC", "WC/VA"});
   {
+    const auto plans = reg.rows_for(BenchSection::kTable1Adversarial);
     std::vector<Graph> graphs;
     graphs.reserve(sizes.size());
     for (std::size_t n : sizes) graphs.push_back(adversarial_tree(n, params));
     std::vector<Cell> cells;
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      const std::size_t n = sizes[i];
-      const Graph* g = &graphs[i];
-      auto cell = [&](const char* row, const char* algo,
-                      std::function<ColoringResult()> compute) {
-        cells.push_back({row, algo, n, 0, g, std::move(compute)});
-      };
-      cell("T1.1 O(ka), k=2", "coloring_ka(k=2)",
-           [g, &params] { return compute_coloring_ka(*g, params, 2); });
-      cell("T1.1 O(ka), k=3", "coloring_ka(k=3)",
-           [g, &params] { return compute_coloring_ka(*g, params, 3); });
-      cell("T1.2 O(a log* n)", "coloring_ka(k=rho)",
-           [g, &params] { return compute_coloring_ka(*g, params, 0); });
-      cell("T1.4 O(a^2 log n)", "coloring_a2logn",
-           [g, &params] { return compute_coloring_a2logn(*g, params); });
-      cell("T1.5 O(ka^2), k=2", "coloring_ka2(k=2)",
-           [g, &params] { return compute_coloring_ka2(*g, params, 2); });
-      cell("T1.5 O(ka^2), k=3", "coloring_ka2(k=3)",
-           [g, &params] { return compute_coloring_ka2(*g, params, 3); });
-      cell("T1.6 O(a^2 log* n)", "coloring_ka2(k=rho)",
-           [g, &params] { return compute_coloring_ka2(*g, params, 0); });
-      cell("Thm7.6 O(a^2)", "coloring_a2",
-           [g, &params] { return compute_coloring_a2(*g, params); });
-      cell("Thm7.9 O(a)", "coloring_oa",
-           [g, &params] { return compute_coloring_oa(*g, params); });
-      cell("baseline [8] O(a)", "be08_arb_color (VA=WC)",
-           [g, &params] { return compute_be08_arb_color(*g, params); });
+      for (const RowPlan& rp : plans)
+        cells.push_back({rp.spec, rp.row->row, rp.row->algo_label,
+                         sizes[i], 0, &graphs[i],
+                         AlgoParams{.arboricity = 1,
+                                    .epsilon = 2.0,
+                                    .k = rp.row->k}});
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i)
-      add(t1, cells[i].row, cells[i].algo, cells[i].n, results[i],
-          *cells[i].g);
+      add(t1, cells[i].row, cells[i].algo, cells[i].n, results[i]);
   }
   t1.print(std::cout);
 
   print_header("Table 1 row 3 — O(a^{1+eta}) coloring, forest unions");
   Table t3({"row", "algorithm", "n", "a", "colors", "VA", "WC", "WC/VA"});
   {
+    const auto plans = reg.rows_for(BenchSection::kTable1Eta);
     std::vector<Graph> graphs;
     std::vector<Cell> cells;
     graphs.reserve(3 * 2);
     for (std::size_t n : {1 << 11, 1 << 13, 1 << 15}) {
       for (std::size_t a : {8u, 16u}) {
         graphs.push_back(gen::forest_union(n, a, n + a));
-        const Graph* g = &graphs.back();
-        cells.push_back({"T1.3 O(a^{1+eta})", "one_plus_eta(C=8)", n, a,
-                         g, [g, a] {
-                           return compute_one_plus_eta(
-                               *g, {.arboricity = a});
-                         }});
+        for (const RowPlan& rp : plans)
+          cells.push_back({rp.spec, rp.row->row, rp.row->algo_label, n,
+                           a, &graphs.back(),
+                           AlgoParams{.arboricity = a}});
       }
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto& r = results[i];
-      tracker.expect(is_proper_coloring(*cells[i].g, r.color), "T1.3");
+      const auto& o = results[i];
+      tracker.expect(o.valid, "T1.3");
       t3.add_row({cells[i].row, cells[i].algo,
                   Table::num(static_cast<std::uint64_t>(cells[i].n)),
                   Table::num(static_cast<std::uint64_t>(cells[i].param)),
-                  Table::num(static_cast<std::uint64_t>(r.num_colors)),
-                  Table::num(r.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(o.num_colors)),
+                  Table::num(o.metrics.vertex_averaged()),
                   Table::num(static_cast<std::uint64_t>(
-                      r.metrics.worst_case())),
-                  fmt_ratio(r.metrics.vertex_averaged(),
+                      o.metrics.worst_case())),
+                  fmt_ratio(o.metrics.vertex_averaged(),
                             static_cast<double>(
-                                r.metrics.worst_case()))});
+                                o.metrics.worst_case()))});
     }
   }
   t3.print(std::cout);
@@ -152,33 +132,29 @@ int run() {
       "Table 1 row 7 — (Delta+1), star-union workload (Delta >> a)");
   Table t7({"row", "algorithm", "n", "Delta", "colors", "VA", "WC"});
   {
-    const PartitionParams p7{.arboricity = 2, .epsilon = 1.0};
+    const auto plans = reg.rows_for(BenchSection::kTable1Star);
     std::vector<Graph> graphs;
     std::vector<Cell> cells;
     graphs.reserve(3);
     for (std::size_t n : {2048u, 8192u, 32768u}) {
       graphs.push_back(gen::star_union(n, 8));
-      const Graph* g = &graphs.back();
-      cells.push_back({"T1.7 ours", "delta_plus1 (VA ~ a log a + log* n)",
-                       n, 0, g,
-                       [g, &p7] { return compute_delta_plus1(*g, p7); }});
-      cells.push_back({"T1.7 baseline",
-                       "wc_delta_plus1 (VA = WC ~ Delta log Delta)", n, 0,
-                       g, [g] { return compute_wc_delta_plus1(*g); }});
+      for (const RowPlan& rp : plans)
+        cells.push_back({rp.spec, rp.row->row, rp.row->algo_label, n, 0,
+                         &graphs.back(),
+                         AlgoParams{.arboricity = 2, .epsilon = 1.0}});
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto& r = results[i];
-      tracker.expect(is_proper_coloring(*cells[i].g, r.color),
-                     std::string(cells[i].row));
+      const auto& o = results[i];
+      tracker.expect(o.valid, std::string(cells[i].row));
       t7.add_row({cells[i].row, cells[i].algo,
                   Table::num(static_cast<std::uint64_t>(cells[i].n)),
                   Table::num(static_cast<std::uint64_t>(
                       cells[i].g->max_degree())),
-                  Table::num(static_cast<std::uint64_t>(r.num_colors)),
-                  Table::num(r.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(o.num_colors)),
+                  Table::num(o.metrics.vertex_averaged()),
                   Table::num(static_cast<std::uint64_t>(
-                      r.metrics.worst_case()))});
+                      o.metrics.worst_case()))});
     }
   }
   t7.print(std::cout);
@@ -186,30 +162,29 @@ int run() {
   print_header("Table 1 rows 8-9 — randomized, O(1) VA w.h.p.");
   Table t8({"row", "algorithm", "n", "colors", "VA", "WC"});
   {
+    const auto plans = reg.rows_for(BenchSection::kTable1Rand);
     std::vector<Graph> graphs;
     std::vector<Cell> cells;
     graphs.reserve(sizes.size());
     for (std::size_t n : sizes) {
       graphs.push_back(adversarial_tree(n, params));
-      const Graph* g = &graphs.back();
-      cells.push_back({"T1.8 Delta+1 rand", "rand_delta_plus1", n, 0, g,
-                       [g, n] { return compute_rand_delta_plus1(*g, n); }});
-      cells.push_back({"T1.9 O(a loglog n) rand", "rand_a_loglog", n, 0,
-                       g, [g, &params, n] {
-                         return compute_rand_a_loglog(*g, params, n);
-                       }});
+      for (const RowPlan& rp : plans)
+        cells.push_back({rp.spec, rp.row->row, rp.row->algo_label, n, 0,
+                         &graphs.back(),
+                         AlgoParams{.arboricity = 1,
+                                    .epsilon = 2.0,
+                                    .seed = n}});
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto& r = results[i];
-      tracker.expect(is_proper_coloring(*cells[i].g, r.color),
-                     std::string(cells[i].row));
+      const auto& o = results[i];
+      tracker.expect(o.valid, std::string(cells[i].row));
       t8.add_row({cells[i].row, cells[i].algo,
                   Table::num(static_cast<std::uint64_t>(cells[i].n)),
-                  Table::num(static_cast<std::uint64_t>(r.num_colors)),
-                  Table::num(r.metrics.vertex_averaged()),
+                  Table::num(static_cast<std::uint64_t>(o.num_colors)),
+                  Table::num(o.metrics.vertex_averaged()),
                   Table::num(static_cast<std::uint64_t>(
-                      r.metrics.worst_case()))});
+                      o.metrics.worst_case()))});
     }
   }
   t8.print(std::cout);

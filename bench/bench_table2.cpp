@@ -4,55 +4,57 @@
 // against Luby's randomized O(log n) MIS baseline. Workloads: the
 // adversarial (A+1)-ary tree, forest unions, and the star-union
 // Delta >> a family. Experiment ids T2.1-T2.3 in DESIGN.md.
-#include <functional>
+//
+// Rows are registry queries (BenchSection::kTable2*): each algorithm's
+// spec carries its own row/check labels and baseline gating, so this
+// bench never names a compute_* entry point directly.
 #include <iostream>
 
-#include "algo/edge_coloring.hpp"
-#include "algo/matching.hpp"
-#include "algo/mis.hpp"
-#include "baseline/luby_mis.hpp"
-#include "baseline/wc_edge_mm.hpp"
 #include "bench_common.hpp"
+#include "registry/registry.hpp"
 #include "sim/batch.hpp"
-#include "validate/validate.hpp"
 
 namespace valocal::bench {
 namespace {
 
-/// Batched table cell: Table 2 mixes result types (MIS / edge coloring
-/// / matching), so each compute job validates with the PURE predicates
-/// inside the closure and returns this digest; tracker bookkeeping and
-/// row emission happen serially afterwards. Byte-determinism of the
-/// batch makes the table independent of VALOCAL_THREADS.
-struct CellOut {
-  bool ok = true;        // primary validity predicate
-  bool ok_aux = true;    // secondary check (e.g. EC palette bound)
-  Metrics metrics;
-};
+using registry::AlgoParams;
+using registry::BenchSection;
+using registry::RowPlan;
+using registry::SolveOutcome;
 
+/// Batched table cell. Each compute job runs the spec's factory — the
+/// attached validators are PURE predicates, safe inside the concurrent
+/// batch — and tracker bookkeeping plus row emission happen serially
+/// afterwards. Byte-determinism of the batch makes the table
+/// independent of VALOCAL_THREADS.
 struct Cell {
+  const registry::AlgoSpec* spec = nullptr;
   const char* problem;
   const char* algo;
   std::size_t n = 0;
   std::size_t param = 0;            // block-specific: a or Delta
-  const char* check;                // tracker label for `ok`
-  const char* check_aux = nullptr;  // tracker label for `ok_aux`
+  const char* check;                // tracker label for `valid`
+  const char* check_aux = nullptr;  // tracker label for `aux_valid`
   const char* ratio = nullptr;      // WC/VA override (baselines)
-  std::function<CellOut()> compute;
+  const Graph* g = nullptr;
+  AlgoParams params;
 };
 
-std::vector<CellOut> run_cells(const std::vector<Cell>& cells) {
-  return run_batch(cells.size(),
-                   [&](std::size_t i) { return cells[i].compute(); });
+std::vector<SolveOutcome> run_cells(const std::vector<Cell>& cells) {
+  return run_batch(cells.size(), [&](std::size_t i) {
+    return cells[i].spec->run(*cells[i].g, cells[i].params);
+  });
 }
 
 int run() {
   ValidationTracker tracker;
+  const auto& reg = registry::Registry::instance();
   const PartitionParams params{.arboricity = 1, .epsilon = 2.0};
 
   print_header("Table 2 — adversarial (A+1)-ary tree, a=1");
   Table t({"problem", "algorithm", "n", "VA", "WC", "WC/VA"});
   {
+    const auto plans = reg.rows_for(BenchSection::kTable2Adversarial);
     const std::vector<std::size_t> sizes{1 << 12, 1 << 14, 1 << 16,
                                          1 << 18};
     std::vector<Graph> graphs;
@@ -60,55 +62,23 @@ int run() {
     graphs.reserve(sizes.size());
     for (std::size_t n : sizes) {
       graphs.push_back(adversarial_tree(n, params));
-      const Graph* g = &graphs.back();
-      cells.push_back({"T2.1 MIS", "mis (Cor 8.4)", n, 0, "T2.1 MIS",
-                       nullptr, nullptr, [g, &params] {
-                         const auto r = compute_mis(*g, params);
-                         return CellOut{is_mis(*g, r.in_set), true,
-                                        r.metrics};
-                       }});
-      cells.push_back({"T2.1 MIS", "luby (baseline, rand O(log n))", n,
-                       0, "T2.1 Luby", nullptr, nullptr, [g, n] {
-                         const auto r = compute_luby_mis(*g, n);
-                         return CellOut{is_mis(*g, r.in_set), true,
-                                        r.metrics};
-                       }});
-      cells.push_back({"T2.2 (2D-1)-EC", "edge_coloring (Cor 8.6)", n, 0,
-                       "T2.2 EC", "T2.2 palette", nullptr, [g, &params] {
-                         const auto r = compute_edge_coloring(*g, params);
-                         return CellOut{
-                             is_proper_edge_coloring(*g, r.color),
-                             r.num_colors <= r.palette_bound, r.metrics};
-                       }});
-      cells.push_back({"T2.3 MM", "matching (Cor 8.8)", n, 0, "T2.3 MM",
-                       nullptr, nullptr, [g, &params] {
-                         const auto r = compute_matching(*g, params);
-                         return CellOut{
-                             is_maximal_matching(*g, r.in_matching),
-                             true, r.metrics};
-                       }});
-      if (n > (1 << 14)) continue;  // baselines: small sizes suffice
-      cells.push_back({"T2.2 (2D-1)-EC", "baseline (run to completion)",
-                       n, 0, "T2.2 baseline EC", nullptr, "1.0x", [g] {
-                         const auto r = compute_wc_edge_coloring(*g);
-                         return CellOut{
-                             is_proper_edge_coloring(*g, r.color), true,
-                             r.metrics};
-                       }});
-      cells.push_back({"T2.3 MM", "baseline (run to completion)", n, 0,
-                       "T2.3 baseline MM", nullptr, "1.0x", [g] {
-                         const auto r = compute_wc_matching(*g);
-                         return CellOut{
-                             is_maximal_matching(*g, r.in_matching),
-                             true, r.metrics};
-                       }});
+      for (const RowPlan& rp : plans) {
+        if (rp.row->small_sizes_only && n > (1 << 14))
+          continue;  // baselines: small sizes suffice
+        cells.push_back({rp.spec, rp.row->row, rp.row->algo_label, n, 0,
+                         rp.row->check, rp.row->check_aux,
+                         rp.row->ratio_override, &graphs.back(),
+                         AlgoParams{.arboricity = 1,
+                                    .epsilon = 2.0,
+                                    .seed = n}});
+      }
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
-      const CellOut& r = results[i];
-      tracker.expect(r.ok, c.check);
-      if (c.check_aux != nullptr) tracker.expect(r.ok_aux, c.check_aux);
+      const SolveOutcome& r = results[i];
+      tracker.expect(r.valid, c.check);
+      if (c.check_aux != nullptr) tracker.expect(r.aux_valid, c.check_aux);
       t.add_row({c.problem, c.algo,
                  Table::num(static_cast<std::uint64_t>(c.n)),
                  Table::num(r.metrics.vertex_averaged()),
@@ -126,41 +96,24 @@ int run() {
   print_header("Table 2 — forest unions (VA tracks a, not n)");
   Table tf({"problem", "n", "a", "VA", "WC"});
   {
+    const auto plans = reg.rows_for(BenchSection::kTable2Families);
     std::vector<Graph> graphs;
     std::vector<Cell> cells;
     graphs.reserve(2 * 3);
     for (std::size_t n : {4096u, 32768u}) {
       for (std::size_t a : {2u, 4u, 8u}) {
         graphs.push_back(gen::forest_union(n, a, n + a));
-        const Graph* g = &graphs.back();
-        const PartitionParams pf{.arboricity = a, .epsilon = 1.0};
-        cells.push_back({"MIS", "", n, a, "T2 forest MIS", nullptr,
-                         nullptr, [g, pf] {
-                           const auto r = compute_mis(*g, pf);
-                           return CellOut{is_mis(*g, r.in_set), true,
-                                          r.metrics};
-                         }});
-        cells.push_back({"EC", "", n, a, "T2 forest EC", nullptr,
-                         nullptr, [g, pf] {
-                           const auto r = compute_edge_coloring(*g, pf);
-                           return CellOut{
-                               is_proper_edge_coloring(*g, r.color),
-                               true, r.metrics};
-                         }});
-        cells.push_back({"MM", "", n, a, "T2 forest MM", nullptr,
-                         nullptr, [g, pf] {
-                           const auto r = compute_matching(*g, pf);
-                           return CellOut{
-                               is_maximal_matching(*g, r.in_matching),
-                               true, r.metrics};
-                         }});
+        for (const RowPlan& rp : plans)
+          cells.push_back({rp.spec, rp.row->row, "", n, a, rp.row->check,
+                           nullptr, nullptr, &graphs.back(),
+                           AlgoParams{.arboricity = a, .epsilon = 1.0}});
       }
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
-      const CellOut& r = results[i];
-      tracker.expect(r.ok, c.check);
+      const SolveOutcome& r = results[i];
+      tracker.expect(r.valid, std::string("T2 forest ") + c.problem);
       tf.add_row({c.problem, Table::num(static_cast<std::uint64_t>(c.n)),
                   Table::num(static_cast<std::uint64_t>(c.param)),
                   Table::num(r.metrics.vertex_averaged()),
@@ -173,39 +126,23 @@ int run() {
   print_header("Table 2 — star unions (Delta >> a: VA independent of Delta)");
   Table ts({"problem", "n", "Delta", "VA", "WC"});
   {
-    const PartitionParams ps{.arboricity = 2, .epsilon = 1.0};
+    const auto plans = reg.rows_for(BenchSection::kTable2Families);
     std::vector<Graph> graphs;
     std::vector<Cell> cells;
     graphs.reserve(2);
     for (std::size_t n : {4096u, 32768u}) {
       graphs.push_back(gen::star_union(n, 8));
-      const Graph* g = &graphs.back();
-      cells.push_back({"MIS", "", n, g->max_degree(), "T2 star MIS",
-                       nullptr, nullptr, [g, &ps] {
-                         const auto r = compute_mis(*g, ps);
-                         return CellOut{is_mis(*g, r.in_set), true,
-                                        r.metrics};
-                       }});
-      cells.push_back({"EC", "", n, g->max_degree(), "T2 star EC",
-                       nullptr, nullptr, [g, &ps] {
-                         const auto r = compute_edge_coloring(*g, ps);
-                         return CellOut{
-                             is_proper_edge_coloring(*g, r.color), true,
-                             r.metrics};
-                       }});
-      cells.push_back({"MM", "", n, g->max_degree(), "T2 star MM",
-                       nullptr, nullptr, [g, &ps] {
-                         const auto r = compute_matching(*g, ps);
-                         return CellOut{
-                             is_maximal_matching(*g, r.in_matching),
-                             true, r.metrics};
-                       }});
+      for (const RowPlan& rp : plans)
+        cells.push_back({rp.spec, rp.row->row, "", n,
+                         graphs.back().max_degree(), rp.row->check,
+                         nullptr, nullptr, &graphs.back(),
+                         AlgoParams{.arboricity = 2, .epsilon = 1.0}});
     }
     const auto results = run_cells(cells);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
-      const CellOut& r = results[i];
-      tracker.expect(r.ok, c.check);
+      const SolveOutcome& r = results[i];
+      tracker.expect(r.valid, std::string("T2 star ") + c.problem);
       ts.add_row({c.problem, Table::num(static_cast<std::uint64_t>(c.n)),
                   Table::num(static_cast<std::uint64_t>(c.param)),
                   Table::num(r.metrics.vertex_averaged()),

@@ -60,6 +60,20 @@ else
   echo "python3 unavailable; skipping trace JSON validation"
 fi
 
+# Registry smoke: --list-algos must enumerate the catalog, and every
+# registered algorithm must run and VALIDATE on a tiny graph through
+# the exact CLI path users take. ring(64) with a=2 satisfies every
+# spec's graph-family constraint (ring arboricity is 2 by the paper's
+# convention), so one loop covers the whole catalog; a non-zero exit
+# from any run (validation failure included) aborts the script.
+build/tools/valocal_cli --list-algos | tee registry_catalog.txt
+n_algos=$(build/tools/valocal_cli --list-algos names | wc -l)
+[ "$n_algos" -ge 20 ] || { echo "registry smoke: only $n_algos algorithms listed"; exit 1; }
+for algo in $(build/tools/valocal_cli --list-algos names); do
+  echo "--- registry smoke: $algo ---"
+  build/tools/valocal_cli --gen ring --n 64 --a 2 --algo "$algo" --validate
+done
+
 # ThreadSanitizer job: rebuild the round engine's suites with
 # -DVALOCAL_SANITIZE=thread and run them (the parallel-engine tests use
 # num_threads up to 8 internally), racing-checking the engine before
@@ -67,9 +81,9 @@ fi
 if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /tmp/valocal_tsan_probe 2>/dev/null; then
   rm -f /tmp/valocal_tsan_probe
   cmake -B build-tsan -G Ninja -DVALOCAL_SANITIZE=thread
-  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine
+  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine test_registry
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine' \
+    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine|test_registry' \
     2>&1 | tee tsan_output.txt
 else
   echo "ThreadSanitizer unavailable; skipping TSan job" | tee tsan_output.txt

@@ -6,6 +6,7 @@
 
 #include "util/mathx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -126,6 +127,24 @@ ColoringResult compute_coloring_a2(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(a2) {
+  using namespace registry;
+  AlgoSpec s = spec_base("a2", "a2", Problem::kVertexColoring,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O(loglog n)", "O(log n)", "Thm 7.6");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 7,
+             .row = "Thm7.6 O(a^2)",
+             .algo_label = "coloring_a2"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "a2",
+                            compute_coloring_a2(g, p.partition()));
+  };
+  return s;
 }
 
 }  // namespace valocal

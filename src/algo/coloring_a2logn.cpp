@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -49,6 +50,24 @@ ColoringResult compute_coloring_a2logn(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(a2logn) {
+  using namespace registry;
+  AlgoSpec s = spec_base("a2logn", "a2logn", Problem::kVertexColoring,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon}, "O(1)",
+                         "O(log n)", "Thm 7.2 / T1.4");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 3,
+             .row = "T1.4 O(a^2 log n)",
+             .algo_label = "coloring_a2logn"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "a2logn",
+                            compute_coloring_a2logn(g, p.partition()));
+  };
+  return s;
 }
 
 }  // namespace valocal

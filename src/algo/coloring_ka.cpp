@@ -6,6 +6,7 @@
 #include "util/assertx.hpp"
 #include "util/mathx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -164,6 +165,35 @@ ColoringResult compute_coloring_ka(const Graph& g, PartitionParams params,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(ka) {
+  using namespace registry;
+  AlgoSpec s = spec_base(
+      "ka", "ka", Problem::kVertexColoring, /*deterministic=*/true,
+      {Param::kArboricity, Param::kEpsilon, Param::kK},
+      "O~(a log^(k) n)", "O(a log n)", "Sec 7.7 / T1.1-T1.2");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 0,
+             .row = "T1.1 O(ka), k=2",
+             .algo_label = "coloring_ka(k=2)",
+             .k = 2},
+            {.section = BenchSection::kTable1Adversarial,
+             .order = 1,
+             .row = "T1.1 O(ka), k=3",
+             .algo_label = "coloring_ka(k=3)",
+             .k = 3},
+            {.section = BenchSection::kTable1Adversarial,
+             .order = 2,
+             .row = "T1.2 O(a log* n)",
+             .algo_label = "coloring_ka(k=rho)",
+             .k = 0}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "ka",
+                            compute_coloring_ka(g, p.partition(), p.k));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -6,6 +6,7 @@
 #include "util/assertx.hpp"
 #include "util/mathx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -139,6 +140,35 @@ ColoringResult compute_coloring_ka2(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(ka2) {
+  using namespace registry;
+  AlgoSpec s = spec_base(
+      "ka2", "ka2", Problem::kVertexColoring, /*deterministic=*/true,
+      {Param::kArboricity, Param::kEpsilon, Param::kK},
+      "O(log^(k) n + log* n)", "O(log n)", "Sec 7.6 / T1.5-T1.6");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 4,
+             .row = "T1.5 O(ka^2), k=2",
+             .algo_label = "coloring_ka2(k=2)",
+             .k = 2},
+            {.section = BenchSection::kTable1Adversarial,
+             .order = 5,
+             .row = "T1.5 O(ka^2), k=3",
+             .algo_label = "coloring_ka2(k=3)",
+             .k = 3},
+            {.section = BenchSection::kTable1Adversarial,
+             .order = 6,
+             .row = "T1.6 O(a^2 log* n)",
+             .algo_label = "coloring_ka2(k=rho)",
+             .k = 0}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "ka2",
+                            compute_coloring_ka2(g, p.partition(), p.k));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -6,6 +6,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -149,6 +150,24 @@ ColoringResult compute_coloring_oa(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(oa) {
+  using namespace registry;
+  AlgoSpec s = spec_base("oa", "oa", Problem::kVertexColoring,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O~(a loglog n)", "O(a log n)", "Thm 7.9");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 8,
+             .row = "Thm7.9 O(a)",
+             .algo_label = "coloring_oa"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "oa",
+                            compute_coloring_oa(g, p.partition()));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -5,6 +5,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -113,6 +114,25 @@ ColoringResult compute_delta_plus1(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(delta_plus1) {
+  using namespace registry;
+  AlgoSpec s = spec_base("delta_plus1", "delta_plus1",
+                         Problem::kVertexColoring, /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O(a log a + log* n)", "O(log n)",
+                         "Cor 8.3 / T1.7");
+  s.rows = {{.section = BenchSection::kTable1Star,
+             .order = 0,
+             .row = "T1.7 ours",
+             .algo_label = "delta_plus1 (VA ~ a log a + log* n)"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "delta_plus1",
+                            compute_delta_plus1(g, p.partition()));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -4,6 +4,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -205,6 +206,41 @@ EdgeColoringResult compute_edge_coloring(const Graph& g,
   result.palette_bound = algo.palette_bound(g.max_degree());
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(edge_coloring) {
+  using namespace registry;
+  AlgoSpec s = spec_base("edge_coloring", "edge coloring",
+                         Problem::kEdgeColoring, /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O~(a + log* n)", "O(a log n)",
+                         "Cor 8.6 / T2.2");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 2,
+             .row = "T2.2 (2D-1)-EC",
+             .algo_label = "edge_coloring (Cor 8.6)",
+             .check = "T2.2 EC",
+             .check_aux = "T2.2 palette"},
+            {.section = BenchSection::kTable2Families,
+             .order = 1,
+             .row = "EC"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const EdgeColoringResult r = compute_edge_coloring(g, p.partition());
+    SolveOutcome o;
+    o.valid = is_proper_edge_coloring(g, r.color);
+    o.aux_valid = r.num_colors <= r.palette_bound;
+    o.num_colors = r.num_colors;
+    o.palette_bound = r.palette_bound;
+    o.labels = to_labels(r.color);
+    o.metrics = r.metrics;
+    std::ostringstream ss;
+    ss << "edge coloring: colors=" << r.num_colors << " (palette "
+       << r.palette_bound << ") proper=" << yes_no(o.valid);
+    o.summary = ss.str();
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

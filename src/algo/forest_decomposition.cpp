@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/assertx.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -57,6 +58,32 @@ ForestDecompositionResult compute_forest_decomposition(
   return ForestDecompositionResult{std::move(run.outputs),
                                    std::move(decomposition),
                                    std::move(run.metrics)};
+}
+
+
+VALOCAL_ALGO_SPEC(forest_decomp) {
+  using namespace registry;
+  AlgoSpec s = spec_base("forest_decomp", "forests",
+                         Problem::kForestDecomposition,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon}, "O(1)",
+                         "O(log n)", "Thm 7.1");
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const ForestDecompositionResult r =
+        compute_forest_decomposition(g, p.partition());
+    SolveOutcome o;
+    o.valid = is_forest_decomposition(g, r.decomposition.orientation,
+                                      r.decomposition.label,
+                                      r.decomposition.num_forests);
+    o.labels = to_labels(r.decomposition.label);
+    o.metrics = r.metrics;
+    std::ostringstream ss;
+    ss << "forests: " << r.decomposition.num_forests
+       << " valid=" << yes_no(o.valid);
+    o.summary = ss.str();
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -5,6 +5,7 @@
 #include "algo/segmentation.hpp"
 #include "util/assertx.hpp"
 #include "util/mathx.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -56,6 +57,28 @@ GeneralPartitionResult compute_general_partition(const Graph& g,
                                << std::min<std::size_t>(last_phase, 40);
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(general_partition) {
+  using namespace registry;
+  AlgoSpec s = spec_base("general_partition", "general partition",
+                         Problem::kHPartition, /*deterministic=*/true,
+                         {Param::kEpsilon}, "O(1)", "O(log n log a)",
+                         "Sec 6.1 / [8]");
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const GeneralPartitionResult r = compute_general_partition(g, p.epsilon);
+    SolveOutcome o;
+    o.valid = is_h_partition(g, r.hset, r.effective_threshold);
+    o.labels = to_labels(r.hset);
+    o.metrics = r.metrics;
+    std::ostringstream ss;
+    ss << "general partition: " << r.num_sets << " H-sets, estimate a~"
+       << r.arboricity_estimate << ", valid=" << yes_no(o.valid);
+    o.summary = ss.str();
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assertx.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -172,6 +173,34 @@ MatchingResult compute_matching(const Graph& g, PartitionParams params) {
       result.in_matching[static_cast<std::size_t>(run.outputs[v])] = true;
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(matching) {
+  using namespace registry;
+  AlgoSpec s = spec_base("matching", "matching", Problem::kMatching,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O~(a + log* n)", "O(a log n)",
+                         "Cor 8.8 / T2.3");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 3,
+             .row = "T2.3 MM",
+             .algo_label = "matching (Cor 8.8)",
+             .check = "T2.3 MM"},
+            {.section = BenchSection::kTable2Families,
+             .order = 2,
+             .row = "MM"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const MatchingResult r = compute_matching(g, p.partition());
+    SolveOutcome o;
+    o.valid = is_maximal_matching(g, r.in_matching);
+    o.labels = to_labels(r.in_matching);
+    o.metrics = r.metrics;
+    o.summary = std::string("matching maximal=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assertx.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -74,6 +75,34 @@ MisResult compute_mis(const Graph& g, PartitionParams params) {
   }
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(mis) {
+  using namespace registry;
+  AlgoSpec s = spec_base("mis", "MIS", Problem::kMis,
+                         /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "O~(a + log* n)", "O(a log n)",
+                         "Cor 8.4 / T2.1");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 0,
+             .row = "T2.1 MIS",
+             .algo_label = "mis (Cor 8.4)",
+             .check = "T2.1 MIS"},
+            {.section = BenchSection::kTable2Families,
+             .order = 0,
+             .row = "MIS"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const MisResult r = compute_mis(g, p.partition());
+    SolveOutcome o;
+    o.valid = is_mis(g, r.in_set);
+    o.labels = to_labels(r.in_set);
+    o.metrics = r.metrics;
+    o.summary = std::string("MIS valid=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

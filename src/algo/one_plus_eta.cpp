@@ -10,6 +10,7 @@
 #include "graph/subgraph.hpp"
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -192,6 +193,25 @@ ColoringResult compute_one_plus_eta(const Graph& g,
     result.metrics.active_per_round[i - 1] +=
         result.metrics.active_per_round[i];
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(one_plus_eta) {
+  using namespace registry;
+  AlgoSpec s = spec_base("one_plus_eta", "one_plus_eta",
+                         Problem::kVertexColoring, /*deterministic=*/true,
+                         {Param::kArboricity}, "O~(a)", "O(a log n)",
+                         "Sec 7.8 / T1.3");
+  s.rows = {{.section = BenchSection::kTable1Eta,
+             .order = 0,
+             .row = "T1.3 O(a^{1+eta})",
+             .algo_label = "one_plus_eta(C=8)"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(
+        g, "one_plus_eta",
+        compute_one_plus_eta(g, {.arboricity = p.arboricity}));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -5,6 +5,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -109,6 +110,31 @@ ColoringResult compute_rand_a_loglog(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(rand_a_loglog) {
+  using namespace registry;
+  AlgoSpec s = spec_base(
+      "rand_a_loglog", "rand_a_loglog", Problem::kVertexColoring,
+      /*deterministic=*/false,
+      {Param::kArboricity, Param::kEpsilon, Param::kSeed},
+      "O(1) w.h.p.", "O(log n) w.h.p.", "Thm 9.2 / T1.9");
+  s.rows = {{.section = BenchSection::kTable1Rand,
+             .order = 1,
+             .row = "T1.9 O(a loglog n) rand",
+             .algo_label = "rand_a_loglog"},
+            {.section = BenchSection::kRandTails,
+             .order = 1,
+             .row = "rand_a_loglog (9.2)",
+             .check = "9.2 proper",
+             .seed_base = 2000}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(
+        g, "rand_a_loglog",
+        compute_rand_a_loglog(g, p.partition(), p.seed));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -5,6 +5,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -57,6 +58,30 @@ ColoringResult compute_rand_delta_plus1(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(rand_delta_plus1) {
+  using namespace registry;
+  AlgoSpec s = spec_base("rand_delta_plus1", "rand_delta_plus1",
+                         Problem::kVertexColoring,
+                         /*deterministic=*/false, {Param::kSeed},
+                         "O(1) w.h.p.", "O(log n) w.h.p.",
+                         "Thm 9.1 / T1.8");
+  s.rows = {{.section = BenchSection::kTable1Rand,
+             .order = 0,
+             .row = "T1.8 Delta+1 rand",
+             .algo_label = "rand_delta_plus1"},
+            {.section = BenchSection::kRandTails,
+             .order = 0,
+             .row = "rand_delta_plus1 (9.1)",
+             .check = "9.1 proper",
+             .seed_base = 1000}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "rand_delta_plus1",
+                            compute_rand_delta_plus1(g, p.seed));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -6,6 +6,7 @@
 #include "util/assertx.hpp"
 #include "util/mathx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -174,6 +175,41 @@ ColoringResult compute_ring_3coloring(const Graph& ring) {
   result.palette_bound = 3;
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(leader) {
+  using namespace registry;
+  AlgoSpec s = spec_base("leader", "leader", Problem::kLeaderElection,
+                         /*deterministic=*/true, {}, "O(log n)",
+                         "Theta(n)", "[12] Sec 2-3",
+                         GraphFamily::kRing);
+  s.run = [](const Graph& g, const AlgoParams&) {
+    const LeaderElectionResult r = compute_ring_leader_election(g);
+    SolveOutcome o;
+    // The survivor must be the unique minimum-ID candidate; vertex IDs
+    // are always 0..n-1, so the checker pins the winner to 0.
+    o.valid = r.leader == 0;
+    o.labels = {static_cast<std::int64_t>(r.leader)};
+    o.metrics = r.metrics;
+    std::ostringstream ss;
+    ss << "leader=" << r.leader;
+    o.summary = ss.str();
+    return o;
+  };
+  return s;
+}
+
+VALOCAL_ALGO_SPEC(ring3) {
+  using namespace registry;
+  AlgoSpec s = spec_base("ring3", "ring3", Problem::kVertexColoring,
+                         /*deterministic=*/true, {}, "Theta(log* n)",
+                         "Theta(log* n)", "[12] Sec 2-3",
+                         GraphFamily::kRing);
+  s.run = [](const Graph& g, const AlgoParams&) {
+    return coloring_outcome(g, "ring3", compute_ring_3coloring(g));
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -6,6 +6,7 @@
 #include "algo/segmentation.hpp"
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -101,6 +102,25 @@ ColoringResult compute_be08_arb_color(const Graph& g,
   result.palette_bound = algo.palette_bound();
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(be08) {
+  using namespace registry;
+  AlgoSpec s = spec_base("be08", "be08 (run to completion)",
+                         Problem::kVertexColoring, /*deterministic=*/true,
+                         {Param::kArboricity, Param::kEpsilon},
+                         "= WC (run to completion)", "O(a log n)",
+                         "[8] baseline / T1 row 6");
+  s.rows = {{.section = BenchSection::kTable1Adversarial,
+             .order = 9,
+             .row = "baseline [8] O(a)",
+             .algo_label = "be08_arb_color (VA=WC)"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    return coloring_outcome(g, "be08 (run to completion)",
+                            compute_be08_arb_color(g, p.partition()));
+  };
+  return s;
 }
 
 }  // namespace valocal

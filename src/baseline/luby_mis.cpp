@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assertx.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -58,6 +59,30 @@ LubyMisResult compute_luby_mis(const Graph& g, std::uint64_t seed) {
   }
   result.metrics = std::move(run.metrics);
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(luby) {
+  using namespace registry;
+  AlgoSpec s = spec_base("luby", "Luby MIS", Problem::kMis,
+                         /*deterministic=*/false, {Param::kSeed},
+                         "O(log n) w.h.p.", "O(log n) w.h.p.",
+                         "Luby baseline / T2.1");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 1,
+             .row = "T2.1 MIS",
+             .algo_label = "luby (baseline, rand O(log n))",
+             .check = "T2.1 Luby"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const LubyMisResult r = compute_luby_mis(g, p.seed);
+    SolveOutcome o;
+    o.valid = is_mis(g, r.in_set);
+    o.labels = to_labels(r.in_set);
+    o.metrics = r.metrics;
+    o.summary = std::string("Luby MIS valid=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

@@ -4,6 +4,7 @@
 
 #include "util/assertx.hpp"
 #include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
 
 namespace valocal {
 
@@ -100,6 +101,65 @@ MatchingResult compute_wc_matching(const Graph& g) {
   for (std::size_t i = 0; i < sweep; ++i)
     result.metrics.active_per_round.push_back(g.num_vertices());
   return result;
+}
+
+
+VALOCAL_ALGO_SPEC(wc_edge) {
+  using namespace registry;
+  AlgoSpec s = spec_base("wc_edge", "wc_edge_coloring (run to completion)",
+                         Problem::kEdgeColoring, /*deterministic=*/true,
+                         {}, "= WC (run to completion)",
+                         "O(Delta + log* n)", "T2.2 baseline");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 4,
+             .row = "T2.2 (2D-1)-EC",
+             .algo_label = "baseline (run to completion)",
+             .check = "T2.2 baseline EC",
+             .ratio_override = "1.0x",
+             .small_sizes_only = true}};
+  s.run = [](const Graph& g, const AlgoParams&) {
+    const EdgeColoringResult r = compute_wc_edge_coloring(g);
+    SolveOutcome o;
+    o.valid = is_proper_edge_coloring(g, r.color);
+    o.num_colors = r.num_colors;
+    o.palette_bound = r.palette_bound;
+    o.labels = to_labels(r.color);
+    o.metrics = r.metrics;
+    std::ostringstream ss;
+    ss << "wc_edge_coloring (run to completion): colors=" << r.num_colors
+       << " (palette " << r.palette_bound
+       << ") proper=" << yes_no(o.valid);
+    o.summary = ss.str();
+    return o;
+  };
+  return s;
+}
+
+VALOCAL_ALGO_SPEC(wc_matching) {
+  using namespace registry;
+  AlgoSpec s = spec_base("wc_matching",
+                         "wc_matching (run to completion)",
+                         Problem::kMatching, /*deterministic=*/true, {},
+                         "= WC (run to completion)",
+                         "O(Delta + log* n)", "T2.3 baseline");
+  s.rows = {{.section = BenchSection::kTable2Adversarial,
+             .order = 5,
+             .row = "T2.3 MM",
+             .algo_label = "baseline (run to completion)",
+             .check = "T2.3 baseline MM",
+             .ratio_override = "1.0x",
+             .small_sizes_only = true}};
+  s.run = [](const Graph& g, const AlgoParams&) {
+    const MatchingResult r = compute_wc_matching(g);
+    SolveOutcome o;
+    o.valid = is_maximal_matching(g, r.in_matching);
+    o.labels = to_labels(r.in_matching);
+    o.metrics = r.metrics;
+    o.summary =
+        std::string("wc_matching maximal=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
 }
 
 }  // namespace valocal

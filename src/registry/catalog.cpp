@@ -1,0 +1,67 @@
+// The one place that enumerates every spec provider. Each provider is
+// defined with VALOCAL_ALGO_SPEC beside its compute_* entry point (the
+// spec lives with the algorithm it describes); this file exists only
+// because valocal is a static library — a global-constructor registrar
+// in a translation unit no consumer references would be silently
+// dropped at link time, so the catalog calls each provider explicitly.
+// The call order below is the catalog order: it fixes --list-algos
+// output, the docs table, and the per-section bench row tiebreak.
+#include "registry/registry.hpp"
+
+namespace valocal {
+
+VALOCAL_ALGO_SPEC(partition);
+VALOCAL_ALGO_SPEC(general_partition);
+VALOCAL_ALGO_SPEC(forest_decomp);
+VALOCAL_ALGO_SPEC(a2logn);
+VALOCAL_ALGO_SPEC(a2);
+VALOCAL_ALGO_SPEC(oa);
+VALOCAL_ALGO_SPEC(ka);
+VALOCAL_ALGO_SPEC(ka2);
+VALOCAL_ALGO_SPEC(one_plus_eta);
+VALOCAL_ALGO_SPEC(delta_plus1);
+VALOCAL_ALGO_SPEC(mis);
+VALOCAL_ALGO_SPEC(edge_coloring);
+VALOCAL_ALGO_SPEC(matching);
+VALOCAL_ALGO_SPEC(rand_delta_plus1);
+VALOCAL_ALGO_SPEC(rand_a_loglog);
+VALOCAL_ALGO_SPEC(luby);
+VALOCAL_ALGO_SPEC(be08);
+VALOCAL_ALGO_SPEC(wc_delta);
+VALOCAL_ALGO_SPEC(wc_edge);
+VALOCAL_ALGO_SPEC(wc_matching);
+VALOCAL_ALGO_SPEC(leader);
+VALOCAL_ALGO_SPEC(ring3);
+
+namespace registry {
+
+const Registry& Registry::instance() {
+  static const Registry catalog({
+      registry_spec_partition(),
+      registry_spec_general_partition(),
+      registry_spec_forest_decomp(),
+      registry_spec_a2logn(),
+      registry_spec_a2(),
+      registry_spec_oa(),
+      registry_spec_ka(),
+      registry_spec_ka2(),
+      registry_spec_one_plus_eta(),
+      registry_spec_delta_plus1(),
+      registry_spec_mis(),
+      registry_spec_edge_coloring(),
+      registry_spec_matching(),
+      registry_spec_rand_delta_plus1(),
+      registry_spec_rand_a_loglog(),
+      registry_spec_luby(),
+      registry_spec_be08(),
+      registry_spec_wc_delta(),
+      registry_spec_wc_edge(),
+      registry_spec_wc_matching(),
+      registry_spec_leader(),
+      registry_spec_ring3(),
+  });
+  return catalog;
+}
+
+}  // namespace registry
+}  // namespace valocal

@@ -1,0 +1,67 @@
+// Shared helpers for the VALOCAL_ALGO_SPEC provider functions defined
+// next to each compute_* entry point: label conversion, the common
+// coloring-outcome shape, and a spec-base builder so providers stay a
+// dozen declarative lines each.
+#pragma once
+
+#include <sstream>
+#include <utility>
+
+#include "algo/coloring_result.hpp"
+#include "registry/registry.hpp"
+#include "validate/validate.hpp"
+
+namespace valocal::registry {
+
+template <class T>
+std::vector<std::int64_t> to_labels(const std::vector<T>& v) {
+  return std::vector<std::int64_t>(v.begin(), v.end());
+}
+
+inline std::vector<std::int64_t> to_labels(const std::vector<bool>& v) {
+  std::vector<std::int64_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] ? 1 : 0;
+  return out;
+}
+
+inline const char* yes_no(bool ok) { return ok ? "yes" : "NO"; }
+
+/// Uniform outcome for a ColoringResult: properness verdict plus the
+/// classic "<display>: colors=C (palette P) proper=yes" report line.
+inline SolveOutcome coloring_outcome(const Graph& g,
+                                     const std::string& display,
+                                     ColoringResult r) {
+  SolveOutcome o;
+  o.valid = is_proper_coloring(g, r.color);
+  o.num_colors = r.num_colors;
+  o.palette_bound = r.palette_bound;
+  o.labels = to_labels(r.color);
+  o.metrics = std::move(r.metrics);
+  std::ostringstream ss;
+  ss << display << ": colors=" << o.num_colors << " (palette "
+     << o.palette_bound << ") proper=" << yes_no(o.valid);
+  o.summary = ss.str();
+  return o;
+}
+
+/// Fills every descriptive field of a spec; the caller adds bench rows
+/// and the factory.
+inline AlgoSpec spec_base(std::string name, std::string display,
+                          Problem problem, bool deterministic,
+                          std::vector<Param> params, std::string va_bound,
+                          std::string wc_bound, std::string paper_ref,
+                          GraphFamily family = GraphFamily::kAny) {
+  AlgoSpec s;
+  s.name = std::move(name);
+  s.display = std::move(display);
+  s.problem = problem;
+  s.deterministic = deterministic;
+  s.family = family;
+  s.params = std::move(params);
+  s.va_bound = std::move(va_bound);
+  s.wc_bound = std::move(wc_bound);
+  s.paper_ref = std::move(paper_ref);
+  return s;
+}
+
+}  // namespace valocal::registry

@@ -33,6 +33,11 @@
 // run_trial must be safe to invoke concurrently from different threads
 // for different indices. Closures must not write shared state (e.g.
 // bench ValidationTracker); validate results serially after the batch.
+//
+// Most callers don't use run_batch directly for seed sweeps any more:
+// registry::run_trials (src/registry/) wraps it with the standard
+// trial-i-runs-seed+i convention for any registered algorithm, which is
+// what the CLI's --batch-trials and bench_randomized_tails go through.
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,10 @@
-// valocal_cli — run any algorithm of the library on any generated or
+// valocal_cli — run any registered algorithm on any generated or
 // loaded graph and print the vertex-averaged / worst-case metrics.
 //
 //   valocal_cli --gen forest --n 10000 --a 3 --algo mis
 //   valocal_cli --gen adversarial --n 65536 --algo a2logn --eps 2
 //   valocal_cli --input graph.txt --algo delta_plus1 --dot out.dot
+//   valocal_cli --list-algos
 //
 // Flags:
 //   --gen      ring|path|grid|tree|forest|star|star_union|er|ba|
@@ -15,10 +16,15 @@
 //   --eps      Procedure Partition epsilon     (default 1.0)
 //   --seed     generator / algorithm seed      (default 1)
 //   --avg-deg  Erdos-Renyi average degree      (default 4)
-//   --algo     partition|general_partition|forest_decomp|a2logn|a2|oa|
-//              ka|ka2|one_plus_eta|delta_plus1|mis|edge_coloring|
-//              matching|rand_delta_plus1|rand_a_loglog|luby|be08|
-//              wc_delta|leader|ring3           (default a2logn)
+//   --algo     any name in the registry catalog (default a2logn);
+//              the list is not hand-maintained here — print it with
+//              --list-algos (a typo gets the nearest-name suggestion)
+//   --list-algos      print the algorithm catalog and exit; value
+//              `names` prints bare names (one per line, for scripts),
+//              `md` prints the markdown table docs/ALGORITHMS.md embeds
+//   --validate print an explicit validation verdict line (the checker
+//              attached to the registry spec always runs either way
+//              and the exit code always reflects it)
 //   --dot      write a DOT rendering (vertex colorings only)
 //   --perm     relabel the graph's IDs before running: "random" or a
 //              seed value (the VA measure maxes over ID assignments)
@@ -42,35 +48,15 @@
 #include <iostream>
 #include <optional>
 
-#include "algo/coloring_a2.hpp"
-#include "algo/coloring_a2logn.hpp"
-#include "algo/coloring_ka.hpp"
-#include "algo/coloring_ka2.hpp"
-#include "algo/coloring_oa.hpp"
-#include "algo/delta_plus1.hpp"
-#include "algo/edge_coloring.hpp"
-#include "algo/forest_decomposition.hpp"
-#include "algo/general_partition.hpp"
-#include "algo/matching.hpp"
-#include "algo/mis.hpp"
-#include "algo/one_plus_eta.hpp"
-#include "algo/partition.hpp"
-#include "algo/rand_a_loglog.hpp"
-#include "algo/rand_delta_plus1.hpp"
-#include "algo/rings.hpp"
-#include "baseline/be08_arb_color.hpp"
-#include "baseline/luby_mis.hpp"
-#include "baseline/wc_delta_plus1.hpp"
 #include "graph/arboricity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
-#include "sim/batch.hpp"
+#include "registry/registry.hpp"
 #include "sim/metrics_io.hpp"
 #include "trace/collector.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
-#include "validate/validate.hpp"
 
 namespace {
 
@@ -148,271 +134,100 @@ void print_metrics(const Metrics& m, const ReportOptions& opts) {
 }
 
 void maybe_dot(const CliArgs& args, const Graph& g,
-               const std::vector<int>& color) {
-  if (!args.has("dot")) return;
+               const registry::SolveOutcome& o) {
+  if (!args.has("dot") || o.labels.size() != g.num_vertices()) return;
+  std::vector<int> color(o.labels.begin(), o.labels.end());
   std::ofstream os(args.get_string("dot", ""));
   write_dot(os, g, &color);
 }
 
-int report_coloring(const CliArgs& args, const ReportOptions& opts,
-                    const Graph& g, const ColoringResult& r,
-                    const char* name) {
-  const bool ok = is_proper_coloring(g, r.color);
-  std::cout << name << ": colors=" << r.num_colors << " (palette "
-            << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
-            << "\n";
-  print_metrics(r.metrics, opts);
-  maybe_dot(args, g, r.color);
-  return ok ? 0 : 1;
+registry::AlgoParams params_from(const CliArgs& args) {
+  registry::AlgoParams p;
+  p.arboricity = static_cast<std::size_t>(args.get_int("a", 2));
+  p.epsilon = args.get_double("eps", 1.0);
+  p.k = static_cast<int>(args.get_int("k", 0));
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return p;
 }
 
-}  // namespace
-
-namespace {
-
-/// Runs the selected algorithm and reports its result. Split out of
-/// main so trace emitters run after the dispatch regardless of which
-/// branch returned.
-int run_algo(const CliArgs& args, const ReportOptions& opts, Graph& g) {
-  const auto a = static_cast<std::size_t>(args.get_int("a", 2));
-  const PartitionParams params{.arboricity = a,
-                               .epsilon = args.get_double("eps", 1.0)};
-  const int k = static_cast<int>(args.get_int("k", 0));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const std::string algo = args.get_string("algo", "a2logn");
-
-  if (algo == "partition") {
-    const auto r = compute_h_partition(g, params);
-    std::cout << "partition: " << r.num_sets << " H-sets, valid="
-              << (is_h_partition(g, r.hset, r.threshold) ? "yes" : "NO")
-              << "\n";
-    print_metrics(r.metrics, opts);
-    return 0;
-  }
-  if (algo == "general_partition") {
-    const auto r = compute_general_partition(g, params.epsilon);
-    std::cout << "general partition: " << r.num_sets
-              << " H-sets, estimate a~" << r.arboricity_estimate
-              << ", valid="
-              << (is_h_partition(g, r.hset, r.effective_threshold)
-                      ? "yes"
-                      : "NO")
-              << "\n";
-    print_metrics(r.metrics, opts);
-    return 0;
-  }
-  if (algo == "forest_decomp") {
-    const auto r = compute_forest_decomposition(g, params);
-    std::cout << "forests: " << r.decomposition.num_forests << " valid="
-              << (is_forest_decomposition(g, r.decomposition.orientation,
-                                          r.decomposition.label,
-                                          r.decomposition.num_forests)
-                      ? "yes"
-                      : "NO")
-              << "\n";
-    print_metrics(r.metrics, opts);
-    return 0;
-  }
-  if (algo == "a2logn")
-    return report_coloring(args, opts, g, compute_coloring_a2logn(g, params),
-                           "a2logn");
-  if (algo == "a2")
-    return report_coloring(args, opts, g, compute_coloring_a2(g, params), "a2");
-  if (algo == "oa")
-    return report_coloring(args, opts, g, compute_coloring_oa(g, params), "oa");
-  if (algo == "ka")
-    return report_coloring(args, opts, g, compute_coloring_ka(g, params, k),
-                           "ka");
-  if (algo == "ka2")
-    return report_coloring(args, opts, g, compute_coloring_ka2(g, params, k),
-                           "ka2");
-  if (algo == "one_plus_eta")
-    return report_coloring(args, opts, g,
-                           compute_one_plus_eta(g, {.arboricity = a}),
-                           "one_plus_eta");
-  if (algo == "delta_plus1")
-    return report_coloring(args, opts, g, compute_delta_plus1(g, params),
-                           "delta_plus1");
-  if (algo == "rand_delta_plus1")
-    return report_coloring(args, opts, g, compute_rand_delta_plus1(g, seed),
-                           "rand_delta_plus1");
-  if (algo == "rand_a_loglog")
-    return report_coloring(args, opts, g,
-                           compute_rand_a_loglog(g, params, seed),
-                           "rand_a_loglog");
-  if (algo == "be08")
-    return report_coloring(args, opts, g, compute_be08_arb_color(g, params),
-                           "be08 (run to completion)");
-  if (algo == "wc_delta")
-    return report_coloring(args, opts, g, compute_wc_delta_plus1(g),
-                           "wc_delta_plus1 (run to completion)");
-  if (algo == "mis") {
-    const auto r = compute_mis(g, params);
-    std::cout << "MIS valid=" << (is_mis(g, r.in_set) ? "yes" : "NO")
-              << "\n";
-    print_metrics(r.metrics, opts);
-    return is_mis(g, r.in_set) ? 0 : 1;
-  }
-  if (algo == "luby") {
-    const auto r = compute_luby_mis(g, seed);
-    std::cout << "Luby MIS valid="
-              << (is_mis(g, r.in_set) ? "yes" : "NO") << "\n";
-    print_metrics(r.metrics, opts);
-    return is_mis(g, r.in_set) ? 0 : 1;
-  }
-  if (algo == "edge_coloring") {
-    const auto r = compute_edge_coloring(g, params);
-    const bool ok = is_proper_edge_coloring(g, r.color);
-    std::cout << "edge coloring: colors=" << r.num_colors << " (palette "
-              << r.palette_bound << ") proper=" << (ok ? "yes" : "NO")
-              << "\n";
-    print_metrics(r.metrics, opts);
-    return ok ? 0 : 1;
-  }
-  if (algo == "matching") {
-    const auto r = compute_matching(g, params);
-    const bool ok = is_maximal_matching(g, r.in_matching);
-    std::cout << "matching maximal=" << (ok ? "yes" : "NO") << "\n";
-    print_metrics(r.metrics, opts);
-    return ok ? 0 : 1;
-  }
-  if (algo == "leader") {
-    const auto r = compute_ring_leader_election(g);
-    std::cout << "leader=" << r.leader << "\n";
-    print_metrics(r.metrics, opts);
-    return 0;
-  }
-  if (algo == "ring3")
-    return report_coloring(args, opts, g, compute_ring_3coloring(g), "ring3");
-
-  std::cerr << "unknown algorithm: " << algo << "\n";
-  return 2;
+void print_validation(const CliArgs& args,
+                      const registry::AlgoSpec& spec,
+                      const registry::SolveOutcome& o) {
+  if (!args.has("validate")) return;
+  std::cout << "validation: " << (o.ok() ? "PASS" : "FAIL") << " ("
+            << registry::problem_name(spec.problem) << " checker"
+            << (o.aux_valid ? "" : ", aux invariant violated") << ")\n";
 }
 
-/// One trial's digest under --batch-trials: validity is checked with
-/// the pure predicates inside the (possibly concurrent) trial closure.
-struct TrialOutcome {
-  Metrics metrics;
-  bool ok = true;
-};
+/// Single run: one registry lookup, one uniform report. The checker
+/// attached to the spec already ran inside spec.run.
+int run_single(const CliArgs& args, const ReportOptions& opts,
+               const registry::AlgoSpec& spec, const Graph& g) {
+  const registry::SolveOutcome o = spec.run(g, params_from(args));
+  std::cout << o.summary << "\n";
+  print_validation(args, spec, o);
+  print_metrics(o.metrics, opts);
+  if (spec.problem == registry::Problem::kVertexColoring)
+    maybe_dot(args, g, o);
+  return o.ok() ? 0 : 1;
+}
 
 /// --batch-trials N: run N independent trials of the selected
 /// algorithm (trial i uses seed `seed + i`; deterministic algorithms
 /// simply repeat) through run_batch and print the VA/WC distribution.
 /// The batch inherits the engine thread default (--threads), so
 /// `--threads 8 --batch-trials 32` shards the sweep 8 trials at a time
-/// — byte-identical to the serial sweep.
-int run_batched(const CliArgs& args, const Graph& g,
-                std::size_t trials) {
-  const auto a = static_cast<std::size_t>(args.get_int("a", 2));
-  const PartitionParams params{.arboricity = a,
-                               .epsilon = args.get_double("eps", 1.0)};
-  const int k = static_cast<int>(args.get_int("k", 0));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const std::string algo = args.get_string("algo", "a2logn");
-
-  std::function<TrialOutcome(std::size_t)> trial;
-  auto coloring = [&](auto compute) {
-    trial = [&g, compute](std::size_t i) {
-      const ColoringResult r = compute(i);
-      return TrialOutcome{r.metrics, is_proper_coloring(g, r.color)};
-    };
-  };
-  if (algo == "a2logn")
-    coloring([&g, params](std::size_t) {
-      return compute_coloring_a2logn(g, params);
-    });
-  else if (algo == "a2")
-    coloring([&g, params](std::size_t) {
-      return compute_coloring_a2(g, params);
-    });
-  else if (algo == "oa")
-    coloring([&g, params](std::size_t) {
-      return compute_coloring_oa(g, params);
-    });
-  else if (algo == "ka")
-    coloring([&g, params, k](std::size_t) {
-      return compute_coloring_ka(g, params, k);
-    });
-  else if (algo == "ka2")
-    coloring([&g, params, k](std::size_t) {
-      return compute_coloring_ka2(g, params, k);
-    });
-  else if (algo == "one_plus_eta")
-    coloring([&g, a](std::size_t) {
-      return compute_one_plus_eta(g, {.arboricity = a});
-    });
-  else if (algo == "delta_plus1")
-    coloring([&g, params](std::size_t) {
-      return compute_delta_plus1(g, params);
-    });
-  else if (algo == "rand_delta_plus1")
-    coloring([&g, seed](std::size_t i) {
-      return compute_rand_delta_plus1(g, seed + i);
-    });
-  else if (algo == "rand_a_loglog")
-    coloring([&g, params, seed](std::size_t i) {
-      return compute_rand_a_loglog(g, params, seed + i);
-    });
-  else if (algo == "be08")
-    coloring([&g, params](std::size_t) {
-      return compute_be08_arb_color(g, params);
-    });
-  else if (algo == "wc_delta")
-    coloring([&g](std::size_t) { return compute_wc_delta_plus1(g); });
-  else if (algo == "ring3")
-    coloring([&g](std::size_t) { return compute_ring_3coloring(g); });
-  else if (algo == "mis")
-    trial = [&g, params](std::size_t) {
-      const auto r = compute_mis(g, params);
-      return TrialOutcome{r.metrics, is_mis(g, r.in_set)};
-    };
-  else if (algo == "luby")
-    trial = [&g, seed](std::size_t i) {
-      const auto r = compute_luby_mis(g, seed + i);
-      return TrialOutcome{r.metrics, is_mis(g, r.in_set)};
-    };
-  else if (algo == "edge_coloring")
-    trial = [&g, params](std::size_t) {
-      const auto r = compute_edge_coloring(g, params);
-      return TrialOutcome{r.metrics,
-                          is_proper_edge_coloring(g, r.color) &&
-                              r.num_colors <= r.palette_bound};
-    };
-  else if (algo == "matching")
-    trial = [&g, params](std::size_t) {
-      const auto r = compute_matching(g, params);
-      return TrialOutcome{r.metrics,
-                          is_maximal_matching(g, r.in_matching)};
-    };
-  else {
-    std::cerr << "--batch-trials does not support algo '" << algo
-              << "'\n";
-    return 2;
-  }
-
-  const auto outcomes = run_batch(
-      trials, trial, {.trial_vertices = g.num_vertices()});
+/// — byte-identical to the serial sweep. Exactly the same registry
+/// lookup as the single-run path, so every --algo name works in both.
+int run_batched(const CliArgs& args, const registry::AlgoSpec& spec,
+                const Graph& g, std::size_t trials) {
+  const registry::AlgoParams params = params_from(args);
+  const auto outcomes = registry::run_trials(spec, g, params, trials);
 
   bool all_ok = true;
   double mean_va = 0.0, max_va = 0.0;
   std::size_t max_wc = 0;
   std::uint64_t round_sum = 0;
-  for (const TrialOutcome& o : outcomes) {
-    all_ok = all_ok && o.ok;
+  for (const registry::SolveOutcome& o : outcomes) {
+    all_ok = all_ok && o.ok();
     const double va = o.metrics.vertex_averaged();
     mean_va += va / static_cast<double>(trials);
     max_va = std::max(max_va, va);
     max_wc = std::max(max_wc, o.metrics.worst_case());
     round_sum += o.metrics.round_sum();
   }
-  std::cout << algo << " x" << trials << " trials (seeds " << seed
-            << ".." << seed + trials - 1 << "): valid="
-            << (all_ok ? "yes" : "NO") << "\n"
+  std::cout << spec.name << " x" << trials << " trials (seeds "
+            << params.seed << ".." << params.seed + trials - 1
+            << "): valid=" << (all_ok ? "yes" : "NO") << "\n"
             << "rounds: mean-VA=" << mean_va << " max-VA=" << max_va
             << " max-WC=" << max_wc << " total-round-sum=" << round_sum
             << "\n";
   return all_ok ? 0 : 1;
+}
+
+int list_algos(const std::string& mode) {
+  const auto& reg = registry::Registry::instance();
+  if (mode == "names") {
+    for (const auto& name : reg.names()) std::cout << name << "\n";
+  } else if (mode == "md") {
+    reg.print_catalog_markdown(std::cout);
+  } else {
+    reg.print_catalog(std::cout);
+    std::cout << reg.all().size()
+              << " algorithms registered (src/registry/)\n";
+  }
+  return 0;
+}
+
+int unknown_algo(const std::string& algo) {
+  const auto& reg = registry::Registry::instance();
+  std::cerr << "unknown algorithm: " << algo << "\n";
+  const std::string near = reg.suggest(algo);
+  if (!near.empty()) std::cerr << "did you mean '" << near << "'?\n";
+  std::cerr << "known algorithms:";
+  for (const auto& name : reg.names()) std::cerr << " " << name;
+  std::cerr << "\n";
+  return 2;
 }
 
 }  // namespace
@@ -423,16 +238,30 @@ int main(int argc, char** argv) {
                     "avg-deg", "algo", "dot", "perm", "decay-csv",
                     "threads", "batch-trials", "timings-csv",
                     "rounds-csv", "histogram-csv", "phase-table",
-                    "trace-json", "run-json", "sleep-hints"});
+                    "trace-json", "run-json", "sleep-hints",
+                    "list-algos", "validate"});
+  if (args.has("list-algos"))
+    return list_algos(args.get_string("list-algos", ""));
+
   set_engine_threads(
       static_cast<std::size_t>(args.get_int("threads", 1)));
   set_engine_sleep_hints(args.get_bool("sleep-hints", false));
+
+  const std::string algo = args.get_string("algo", "a2logn");
+  const registry::AlgoSpec* spec = registry::Registry::instance().find(algo);
+  if (spec == nullptr) return unknown_algo(algo);
 
   Graph g = make_graph(args);
   if (args.has("perm")) {
     const auto perm_seed = static_cast<std::uint64_t>(
         args.get_int("perm", 0));
     g = relabel(g, random_permutation(g.num_vertices(), perm_seed));
+  }
+  if (!registry::family_ok(spec->family, g)) {
+    std::cerr << "algorithm '" << spec->name << "' requires a "
+              << registry::family_name(spec->family)
+              << " graph (try --gen ring)\n";
+    return 2;
   }
 
   ReportOptions opts;
@@ -454,7 +283,7 @@ int main(int argc, char** argv) {
                             "threads"})
       if (args.has(key))
         collector.set_context(key, args.get_string(key, ""));
-    collector.set_context("algo", args.get_string("algo", "a2logn"));
+    collector.set_context("algo", algo);
     scoped_sink.emplace(&collector);
     opts.collector = &collector;
   }
@@ -465,8 +294,9 @@ int main(int argc, char** argv) {
 
   const auto batch_trials =
       static_cast<std::size_t>(args.get_int("batch-trials", 0));
-  const int rc = batch_trials > 1 ? run_batched(args, g, batch_trials)
-                                  : run_algo(args, opts, g);
+  const int rc = batch_trials > 1
+                     ? run_batched(args, *spec, g, batch_trials)
+                     : run_single(args, opts, *spec, g);
 
   if (!trace_json.empty()) {
     std::ofstream os(trace_json);
