@@ -74,6 +74,21 @@ for algo in $(build/tools/valocal_cli --list-algos names); do
   build/tools/valocal_cli --gen ring --n 64 --a 2 --algo "$algo" --validate
 done
 
+# Large-graph smoke: an RMAT scale-20 instance through the whole
+# binary-edge-list path — generate + streaming CSR build + one
+# registry solve, save as a binary edge list, re-ingest it via mmap,
+# and check the round-trip is byte-identical (both builds produce
+# canonical edge ids, so a second save must reproduce the file
+# exactly). Also exercises --stats (the one-pass degree/arboricity
+# summary) at scale.
+echo "--- large-graph smoke: rmat:20x8 ---"
+build/tools/valocal_cli --graph rmat:20x8 --seed 7 --algo luby \
+  --validate --stats --save-bin trace_output/rmat20.bin
+build/tools/valocal_cli --load-bin trace_output/rmat20.bin --algo luby \
+  --validate --save-bin trace_output/rmat20.roundtrip.bin
+cmp trace_output/rmat20.bin trace_output/rmat20.roundtrip.bin
+echo "large-graph smoke: binary round-trip byte-identical"
+
 # ThreadSanitizer job: rebuild the round engine's suites with
 # -DVALOCAL_SANITIZE=thread and run them (the parallel-engine tests use
 # num_threads up to 8 internally), racing-checking the engine before
@@ -81,13 +96,19 @@ done
 if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /tmp/valocal_tsan_probe 2>/dev/null; then
   rm -f /tmp/valocal_tsan_probe
   cmake -B build-tsan -G Ninja -DVALOCAL_SANITIZE=thread
-  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine test_registry
+  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine test_registry test_rmat test_edgelist_bin
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine|test_registry' \
+    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine|test_registry|test_rmat|test_edgelist_bin' \
     2>&1 | tee tsan_output.txt
 else
   echo "ThreadSanitizer unavailable; skipping TSan job" | tee tsan_output.txt
 fi
+
+# The scaling bench's graph-substrate section generates an RMAT
+# instance at VALOCAL_RMAT_SCALE (default 24, ~268M directed pairs —
+# the number BENCH_engine.json records via scripts/bench_baseline.sh).
+# Keep the everything-in-one-pass script fast with scale 20 here.
+export VALOCAL_RMAT_SCALE="${VALOCAL_RMAT_SCALE:-20}"
 
 {
   for b in build/bench/*; do

@@ -1,0 +1,77 @@
+// Versioned binary edge-list files with mmap-based zero-copy
+// ingestion — the on-disk exchange format for the large-graph
+// substrate (text edge lists stay the human-readable format for small
+// instances; see io.hpp).
+//
+// Layout (little-endian, see docs/GRAPHS.md):
+//   offset  0: char[8]  magic   "VALOCELB"
+//   offset  8: u32      version  (currently 1)
+//   offset 12: u32      width    bytes per vertex id: 4 or 8
+//   offset 16: u64      n        vertex count
+//   offset 24: u64      m        number of directed (u, v) pairs
+//   offset 32: m pairs of ids, 2 * width bytes each
+//
+// Pairs are a raw generator-style stream: order is unspecified, and
+// duplicates/self-loops are allowed (the streaming CSR build drops
+// them). Width-4 files are ingested zero-copy: the mapped bytes are
+// handed to Graph::from_source as pair blocks directly. Width-8 files
+// exist for interchange with 64-bit-id producers; every id is checked
+// against the 32-bit limit (and n) while converting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace valocal {
+
+inline constexpr char kEdgeListBinMagic[8] = {'V', 'A', 'L', 'O',
+                                              'C', 'E', 'L', 'B'};
+inline constexpr std::uint32_t kEdgeListBinVersion = 1;
+
+/// Writes the graph's m edges (edge-id order, u < v per pair) as a
+/// width-4 file. Fails loudly — including on a full disk — by
+/// checking stream state after the final flush.
+void save_edgelist_bin(const std::string& path, const Graph& g);
+
+/// Streams an arbitrary pair source to disk without materializing it
+/// (the way to write RMAT instances far larger than RAM would allow
+/// as staged vectors). Single-threaded stream: file write order is the
+/// source's serial block order.
+void save_edgelist_bin(const std::string& path, std::size_t n,
+                       const EdgeBlockSource& src);
+
+/// An open, mmap'd binary edge list: header fields plus an
+/// EdgeBlockSource view over the pair section. The mapping lives as
+/// long as the object; blocks handed out by stream() point straight
+/// into the mapping for width-4 files (zero-copy).
+class BinEdgeList final : public EdgeBlockSource {
+ public:
+  explicit BinEdgeList(const std::string& path);
+  ~BinEdgeList() override;
+
+  BinEdgeList(const BinEdgeList&) = delete;
+  BinEdgeList& operator=(const BinEdgeList&) = delete;
+
+  std::size_t num_vertices() const { return n_; }
+  std::uint32_t id_width() const { return width_; }
+
+  std::uint64_t num_pairs() const override { return m_; }
+  void stream(std::size_t num_threads, const BlockFn& fn) const override;
+
+ private:
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  const unsigned char* data_ = nullptr;  // first pair byte
+  std::size_t n_ = 0;
+  std::uint64_t m_ = 0;
+  std::uint32_t width_ = 4;
+};
+
+/// mmap the file and run the streaming CSR build: the whole ingestion
+/// path allocates only the CSR arrays themselves.
+Graph load_graph_bin(const std::string& path, std::size_t num_threads = 1);
+
+}  // namespace valocal

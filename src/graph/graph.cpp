@@ -1,15 +1,182 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "util/assertx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace valocal {
+namespace {
+
+/// Fills incident_ (streaming build only), edge arrays (streaming
+/// build only), and the reciprocal ports in one O(2m) sweep, given
+/// sorted adjacency slices. Invariant it rides on: iterating u
+/// ascending and u's slice ascending visits the edges {u, w} with
+/// u < w in exactly the order the reverse slots appear in each w's
+/// slice — neighbors below w are a sorted prefix of w's (sorted)
+/// slice — so one cursor per vertex pairs every forward slot with its
+/// reverse slot without per-edge lookup tables or binary searches.
+template <class PerEdge>
+void sweep_edge_slots(std::size_t n, const std::vector<std::size_t>& offsets,
+                      const std::vector<Vertex>& adjacency,
+                      std::vector<std::size_t>& cursor,
+                      const PerEdge& per_edge) {
+  std::copy_n(offsets.begin(), n, cursor.begin());
+  for (Vertex u = 0; u < n; ++u)
+    for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const Vertex w = adjacency[i];
+      if (w < u) continue;
+      VALOCAL_DCHECK(w != u, "self-loop survived the build");
+      per_edge(u, w, i, cursor[w]++);
+    }
+}
+
+}  // namespace
+
+void SpanEdgeSource::stream(std::size_t num_threads,
+                            const BlockFn& fn) const {
+  constexpr std::size_t kBlockPairs = std::size_t{1} << 20;
+  const std::size_t total = pairs_.size() / 2;
+  ThreadPool pool(num_threads);
+  pool.parallel_for_chunks(
+      total, kBlockPairs,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        fn(pairs_.subspan(2 * begin, 2 * (end - begin)));
+      });
+}
+
+Graph Graph::from_source(std::size_t n, const EdgeBlockSource& src,
+                         std::size_t num_threads) {
+  VALOCAL_REQUIRE(n <= kMaxVertices,
+                  "vertex count exceeds the 32-bit id limit "
+                  "(see docs/GRAPHS.md)");
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(n + 1, 0);
+  if (src.num_pairs() == 0) return g;
+
+  // Pass 1: degree counting (duplicates counted, removed after the
+  // per-slice sort; self-loops dropped). Relaxed atomics make the
+  // pass safe under any block parallelism; totals are order-free.
+  std::vector<std::atomic<Vertex>> degree(n);
+  src.stream(num_threads, [&](EdgeBlockSource::Block block) {
+    VALOCAL_REQUIRE(block.size() % 2 == 0,
+                    "edge source yielded a half pair");
+    for (std::size_t i = 0; i < block.size(); i += 2) {
+      const Vertex u = block[i], v = block[i + 1];
+      VALOCAL_REQUIRE(u < n && v < n,
+                      "edge endpoint out of range (vertex id >= n)");
+      if (u == v) continue;
+      degree[u].fetch_add(1, std::memory_order_relaxed);
+      degree[v].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t v = 0; v < n; ++v)
+    g.offsets_[v + 1] =
+        g.offsets_[v] + degree[v].load(std::memory_order_relaxed);
+  const std::size_t slots = g.offsets_[n];
+
+  // Pass 2: scatter each endpoint straight into its adjacency slice.
+  // Slot order within a slice is schedule-dependent here; the sort
+  // below canonicalizes it, so the built graph is thread-count- and
+  // block-order-independent.
+  g.adjacency_.resize(slots);
+  std::vector<std::atomic<std::size_t>> cursor(n);
+  for (std::size_t v = 0; v < n; ++v)
+    cursor[v].store(g.offsets_[v], std::memory_order_relaxed);
+  src.stream(num_threads, [&](EdgeBlockSource::Block block) {
+    for (std::size_t i = 0; i < block.size(); i += 2) {
+      const Vertex u = block[i], v = block[i + 1];
+      VALOCAL_REQUIRE(u < n && v < n,
+                      "edge source changed between passes");
+      if (u == v) continue;
+      g.adjacency_[cursor[u].fetch_add(1, std::memory_order_relaxed)] = v;
+      g.adjacency_[cursor[v].fetch_add(1, std::memory_order_relaxed)] = u;
+    }
+  });
+
+  // Sort + dedup every slice in place (parallel over vertex ranges;
+  // slices are disjoint). The deduped degree lands in `degree`.
+  {
+    ThreadPool pool(num_threads);
+    pool.parallel_for_chunks(
+        n, 4096,
+        [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            const auto lo = g.adjacency_.begin() +
+                            static_cast<std::ptrdiff_t>(g.offsets_[v]);
+            const auto hi = g.adjacency_.begin() +
+                            static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+            std::sort(lo, hi);
+            degree[v].store(
+                static_cast<Vertex>(std::unique(lo, hi) - lo),
+                std::memory_order_relaxed);
+          }
+        });
+  }
+
+  // Compact the deduped slices to the front and rebuild offsets. A
+  // duplicate pair shrinks both endpoint slices, so the slot count
+  // stays even. The adjacency vector keeps its 2·pairs capacity —
+  // that transient is the build's documented peak.
+  std::size_t write = 0, old_lo = 0;
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t old_next = g.offsets_[v + 1];
+    const std::size_t d = degree[v].load(std::memory_order_relaxed);
+    if (write != old_lo)
+      std::copy(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(old_lo),
+                g.adjacency_.begin() +
+                    static_cast<std::ptrdiff_t>(old_lo + d),
+                g.adjacency_.begin() + static_cast<std::ptrdiff_t>(write));
+    write += d;
+    old_lo = old_next;
+    g.offsets_[v + 1] = write;
+    max_degree = std::max(max_degree, d);
+  }
+  VALOCAL_ENSURE(write % 2 == 0, "odd adjacency slot count after dedup");
+  const std::size_t m = write / 2;
+  VALOCAL_REQUIRE(m <= kMaxEdges,
+                  "edge count exceeds the 32-bit edge-id limit "
+                  "(see docs/GRAPHS.md)");
+  g.adjacency_.resize(write);
+  g.max_degree_ = max_degree;
+
+  // Canonical edge ids — lexicographic by (u, v) — plus incident lists
+  // and reciprocal ports, in one cursor sweep.
+  g.edge_u_.reserve(m);
+  g.edge_v_.reserve(m);
+  g.incident_.resize(write);
+  g.mirror_.resize(write);
+  std::vector<std::size_t> sweep_cursor(n);
+  sweep_edge_slots(
+      n, g.offsets_, g.adjacency_, sweep_cursor,
+      [&](Vertex u, Vertex w, std::size_t fwd_slot, std::size_t rev_slot) {
+        const EdgeId e = static_cast<EdgeId>(g.edge_u_.size());
+        g.edge_u_.push_back(u);
+        g.edge_v_.push_back(w);
+        g.incident_[fwd_slot] = e;
+        g.incident_[rev_slot] = e;
+        g.mirror_[fwd_slot] =
+            static_cast<std::uint32_t>(rev_slot - g.offsets_[w]);
+        g.mirror_[rev_slot] =
+            static_cast<std::uint32_t>(fwd_slot - g.offsets_[u]);
+      });
+  VALOCAL_ENSURE(g.edge_u_.size() == m, "edge sweep missed slots");
+  return g;
+}
 
 Graph::Graph(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges)
     : n_(n) {
+  VALOCAL_REQUIRE(n <= kMaxVertices,
+                  "vertex count exceeds the 32-bit id limit "
+                  "(see docs/GRAPHS.md)");
   const std::size_t m = edges.size();
+  VALOCAL_REQUIRE(m <= kMaxEdges,
+                  "edge count exceeds the 32-bit edge-id limit "
+                  "(see docs/GRAPHS.md)");
   edge_u_.reserve(m);
   edge_v_.reserve(m);
   for (auto& [u, v] : edges) {
@@ -60,34 +227,20 @@ Graph::Graph(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges)
     max_degree_ = std::max(max_degree_, hi - lo);
   }
 
-  // Reciprocal ports: for each adjacency slot, the position of the same
-  // edge within the other endpoint's slice.
+  // Reciprocal ports: for each adjacency slot, the position of the
+  // same edge within the other endpoint's slice. The cursor sweep
+  // (shared with the streaming build) derives both directions from
+  // slice order alone — no per-edge slot tables, no extra passes.
   mirror_.resize(2 * m);
-  std::vector<std::uint32_t> slot_of_edge(m);
-  for (Vertex v = 0; v < n_; ++v)
-    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i)
-      if (v == edge_u_[incident_[i]])
-        slot_of_edge[incident_[i]] =
-            static_cast<std::uint32_t>(i - offsets_[v]);
-  for (Vertex v = 0; v < n_; ++v)
-    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
-      const EdgeId e = incident_[i];
-      if (v == edge_u_[e]) continue;
-      mirror_[i] = slot_of_edge[e];
-      // And record v's slot as the mirror at u's side.
-    }
-  // Second pass completes the u -> v direction.
-  std::vector<std::uint32_t> slot_of_edge_v(m);
-  for (Vertex v = 0; v < n_; ++v)
-    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i)
-      if (v == edge_v_[incident_[i]])
-        slot_of_edge_v[incident_[i]] =
-            static_cast<std::uint32_t>(i - offsets_[v]);
-  for (Vertex v = 0; v < n_; ++v)
-    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
-      const EdgeId e = incident_[i];
-      if (v == edge_u_[e]) mirror_[i] = slot_of_edge_v[e];
-    }
+  std::vector<std::size_t> sweep_cursor(n_);
+  sweep_edge_slots(
+      n_, offsets_, adjacency_, sweep_cursor,
+      [&](Vertex u, Vertex w, std::size_t fwd_slot, std::size_t rev_slot) {
+        mirror_[fwd_slot] =
+            static_cast<std::uint32_t>(rev_slot - offsets_[w]);
+        mirror_[rev_slot] =
+            static_cast<std::uint32_t>(fwd_slot - offsets_[u]);
+      });
 }
 
 bool Graph::has_edge(Vertex u, Vertex v) const {

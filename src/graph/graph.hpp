@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "util/assertx.hpp"
 
 namespace valocal {
 
@@ -21,13 +24,77 @@ using EdgeId = std::uint32_t;
 inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
 inline constexpr Vertex kInvalidVertex = ~Vertex{0};
 
+/// Hard id-width ceilings (see docs/GRAPHS.md). Vertex ids are 32-bit
+/// with ~Vertex{0} reserved as the kInvalidVertex sentinel, so a graph
+/// holds at most 2^32 - 1 vertices; likewise for edge ids. Every
+/// construction path (Graph, GraphBuilder, the streaming build) guards
+/// these explicitly instead of silently truncating a std::size_t.
+inline constexpr std::size_t kMaxVertices = kInvalidVertex;
+inline constexpr std::size_t kMaxEdges = kInvalidEdge;
+
+/// A re-streamable source of directed vertex pairs, the input shape of
+/// the memory-lean CSR build (Graph::from_source). Implementations:
+/// SpanEdgeSource (in-RAM pairs), gen::RmatSource (rmat.hpp, generated
+/// on the fly), BinEdgeList (edgelist_bin.hpp, mmap-backed files).
+///
+/// Semantics: stream() invokes `fn` on blocks of interleaved pairs
+/// (u0, v0, u1, v1, ...; block length is always even). The multiset of
+/// pairs must be identical across calls — the CSR build streams twice
+/// (degree count, then scatter). Block boundaries, block order, and
+/// the pair order inside a block are unspecified; with num_threads > 1
+/// implementations may invoke `fn` concurrently from several threads,
+/// so `fn` must be thread-safe. Self-loops and duplicate pairs are
+/// permitted (the build drops them, Graph500-style).
+class EdgeBlockSource {
+ public:
+  using Block = std::span<const Vertex>;
+  using BlockFn = std::function<void(Block)>;
+
+  virtual ~EdgeBlockSource() = default;
+
+  /// Exact number of directed pairs every stream() call yields.
+  virtual std::uint64_t num_pairs() const = 0;
+  virtual void stream(std::size_t num_threads, const BlockFn& fn) const = 0;
+};
+
+/// EdgeBlockSource view over contiguous interleaved pairs already in
+/// memory (size must be even). Zero-copy: blocks are subspans.
+class SpanEdgeSource final : public EdgeBlockSource {
+ public:
+  explicit SpanEdgeSource(std::span<const Vertex> pairs) : pairs_(pairs) {
+    VALOCAL_REQUIRE(pairs.size() % 2 == 0,
+                    "interleaved pair span must have even length");
+  }
+
+  std::uint64_t num_pairs() const override { return pairs_.size() / 2; }
+  void stream(std::size_t num_threads, const BlockFn& fn) const override;
+
+ private:
+  std::span<const Vertex> pairs_;
+};
+
 class Graph {
  public:
   Graph() = default;
 
   /// Builds from an edge list over vertices [0, n). Self-loops are
-  /// rejected; duplicate edges are rejected (simple graph).
+  /// rejected; duplicate edges are rejected (simple graph). Edge ids
+  /// follow the input order. Requires n <= kMaxVertices.
   Graph(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges);
+
+  /// Memory-lean streaming build: two passes over `src` (degree count,
+  /// then scatter straight into CSR), per-vertex sort + dedup in
+  /// place, then one cursor sweep for edge ids, incident lists, and
+  /// reciprocal ports. No edge-pair staging vector and no hash-set
+  /// dedup: peak transient memory is ~2·pairs·sizeof(Vertex) for the
+  /// adjacency scatter plus the n+1 offsets. Unlike the vector
+  /// constructor, self-loops and duplicate pairs are silently dropped
+  /// (generator-exchange semantics: RMAT and Graph500-style inputs
+  /// produce both), and edge ids are canonical — lexicographic by
+  /// (u, v) — so any two sources yielding the same edge multiset build
+  /// byte-identical graphs regardless of pair order or thread count.
+  static Graph from_source(std::size_t n, const EdgeBlockSource& src,
+                           std::size_t num_threads = 1);
 
   std::size_t num_vertices() const { return n_; }
   std::size_t num_edges() const { return edge_u_.size(); }
@@ -84,10 +151,17 @@ class Graph {
   std::vector<Vertex> edge_u_, edge_v_;  // m each; u < v
 };
 
-/// Incremental edge-list builder with de-duplication.
+/// Incremental edge-list builder with de-duplication. Convenient for
+/// the small synthetic families; for large streamed inputs prefer
+/// Graph::from_source, which needs no pair staging vector and no
+/// per-edge hash set (see docs/GRAPHS.md for the memory model).
 class GraphBuilder {
  public:
-  explicit GraphBuilder(std::size_t n) : n_(n) {}
+  explicit GraphBuilder(std::size_t n) : n_(n) {
+    VALOCAL_REQUIRE(n <= kMaxVertices,
+                    "vertex count exceeds the 32-bit id limit "
+                    "(see docs/GRAPHS.md)");
+  }
 
   /// Adds edge {u, v} unless it is a self-loop or already present.
   /// Returns true if the edge was added.

@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -15,34 +16,53 @@ void write_edge_list(std::ostream& os, const Graph& g) {
   os << g.num_vertices() << ' ' << g.num_edges() << '\n';
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     os << g.edge_u(e) << ' ' << g.edge_v(e) << '\n';
+  os.flush();
+  VALOCAL_REQUIRE(os.good(),
+                  "edge list: write failed (disk full or stream error)");
 }
 
 Graph read_edge_list(std::istream& is) {
   std::string line;
+  std::size_t line_no = 0;
   auto next_data_line = [&]() -> bool {
     while (std::getline(is, line)) {
+      ++line_no;
       const auto pos = line.find_first_not_of(" \t\r");
       if (pos == std::string::npos || line[pos] == '#') continue;
       return true;
     }
     return false;
   };
+  // Abort with the offending 1-based line number: a stale or
+  // hand-edited file must point at its own bad row, not die deep in
+  // the CSR build.
+  auto require_line = [&](bool ok, const char* what) {
+    if (ok) return;
+    std::fprintf(stderr, "valocal: edge list: %s at line %zu: %s\n", what,
+                 line_no, line.c_str());
+    VALOCAL_REQUIRE(ok, "edge list: malformed input (see message above)");
+  };
 
   VALOCAL_REQUIRE(next_data_line(), "edge list: missing header");
   std::istringstream header(line);
   std::size_t n = 0, m = 0;
-  VALOCAL_REQUIRE(static_cast<bool>(header >> n >> m),
-                  "edge list: malformed header");
+  require_line(static_cast<bool>(header >> n >> m), "malformed header");
 
   GraphBuilder builder(n);
   for (std::size_t i = 0; i < m; ++i) {
     VALOCAL_REQUIRE(next_data_line(), "edge list: truncated edge section");
     std::istringstream row(line);
-    Vertex u = 0, v = 0;
-    VALOCAL_REQUIRE(static_cast<bool>(row >> u >> v),
-                    "edge list: malformed edge line");
-    VALOCAL_REQUIRE(builder.add_edge(u, v),
-                    "edge list: self-loop or duplicate edge");
+    // Parse signed so "-1" is caught as a negative id instead of
+    // silently wrapping around to 4294967295 via unsigned extraction.
+    long long u = 0, v = 0;
+    require_line(static_cast<bool>(row >> u >> v), "malformed edge line");
+    require_line(u >= 0 && v >= 0, "negative vertex id");
+    require_line(static_cast<unsigned long long>(u) < n &&
+                     static_cast<unsigned long long>(v) < n,
+                 "vertex id out of range (id >= n)");
+    require_line(builder.add_edge(static_cast<Vertex>(u),
+                                  static_cast<Vertex>(v)),
+                 "self-loop or duplicate edge");
   }
   return std::move(builder).build();
 }
@@ -51,6 +71,8 @@ void save_edge_list(const std::string& path, const Graph& g) {
   std::ofstream os(path);
   VALOCAL_REQUIRE(os.good(), "cannot open file for writing");
   write_edge_list(os, g);
+  os.close();
+  VALOCAL_REQUIRE(os.good(), "edge list: close failed");
 }
 
 Graph load_edge_list(const std::string& path) {

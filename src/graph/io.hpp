@@ -1,7 +1,11 @@
 // Graph serialization: a plain edge-list text format ("n m" header then
 // one "u v" pair per line, '#' comments allowed) and Graphviz DOT
 // export for visualization. Used by the CLI tool and available as
-// public API for loading external instances.
+// public API for loading external instances. Every edge row is
+// validated (no negative ids, ids < n, no self-loops/duplicates) with
+// the offending line number in the error; writes check stream state so
+// a full disk fails loudly. For large instances use the binary format
+// in edgelist_bin.hpp instead.
 #pragma once
 
 #include <iosfwd>

@@ -34,6 +34,10 @@ const char* family_name(GraphFamily f) {
 bool family_ok(GraphFamily f, const Graph& g) {
   if (f == GraphFamily::kAny) return true;
   if (g.num_vertices() < 3) return false;
+  // O(1) reject for the large-graph families (RMAT, loaded binaries):
+  // a precomputed max degree != 2 can never be a disjoint cycle union,
+  // so the O(n) degree sweep below only runs on plausible rings.
+  if (g.max_degree() != 2) return false;
   for (Vertex v = 0; v < g.num_vertices(); ++v)
     if (g.degree(v) != 2) return false;
   return true;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -36,6 +37,37 @@ TEST(GraphIo, MalformedInputDies) {
   EXPECT_DEATH((void)read_edge_list(missing), "truncated");
   std::stringstream selfloop("2 1\n1 1\n");
   EXPECT_DEATH((void)read_edge_list(selfloop), "self-loop");
+}
+
+TEST(GraphIo, RejectsOutOfRangeAndNegativeIds) {
+  // Regression: ids were extracted unsigned and unchecked, so "-1"
+  // wrapped to 4294967295 and any id >= n corrupted the CSR build
+  // far from the offending row. Each death message must carry the
+  // 1-based line number of the bad row.
+  std::stringstream big("3 2\n0 1\n1 7\n");
+  EXPECT_DEATH((void)read_edge_list(big),
+               "out of range.*at line 3");
+  std::stringstream negative("3 1\n-1 2\n");
+  EXPECT_DEATH((void)read_edge_list(negative),
+               "negative vertex id.*at line 2");
+  std::stringstream wraparound("3 1\n0 -4294967295\n");
+  EXPECT_DEATH((void)read_edge_list(wraparound), "negative vertex id");
+  std::stringstream garbage("3 1\n0 x\n");
+  EXPECT_DEATH((void)read_edge_list(garbage),
+               "malformed edge line.*at line 2");
+}
+
+TEST(GraphIo, WriteFailureDiesLoudly) {
+  // Regression: write_edge_list never checked stream state, so a full
+  // disk (or closed pipe) produced a silently truncated file.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full unavailable";
+  const Graph g(3, {{0, 1}, {1, 2}});
+  std::ofstream full("/dev/full");
+  ASSERT_TRUE(full.good());
+  EXPECT_DEATH(write_edge_list(full, g), "write failed");
+  EXPECT_DEATH(save_edge_list("/dev/full", g), "write failed");
+  EXPECT_DEATH(save_edge_list("/no/such/dir/out.txt", g), "cannot open");
 }
 
 TEST(GraphIo, DotOutputContainsEdgesAndColors) {

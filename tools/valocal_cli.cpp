@@ -9,7 +9,17 @@
 // Flags:
 //   --gen      ring|path|grid|tree|forest|star|star_union|er|ba|
 //              hypercube|adversarial          (default forest)
+//   --graph    large-graph family spec, e.g. rmat:24x16 (2^24
+//              vertices, 16x directed pairs; --seed seeds the
+//              generator, --threads parallelizes the build) —
+//              overrides --gen
 //   --input    edge-list file (overrides --gen)
+//   --load-bin binary edge-list file (edgelist_bin.hpp), ingested
+//              zero-copy via mmap + the streaming CSR build
+//              (overrides every other graph source)
+//   --save-bin write the constructed graph as a binary edge list
+//              before solving (pairs in canonical edge-id order)
+//   --stats    print the one-pass degree/arboricity stats block
 //   --n        vertex count                    (default 4096)
 //   --a        declared arboricity             (default 2)
 //   --k        segmentation parameter, 0=rho(n)
@@ -49,9 +59,12 @@
 #include <optional>
 
 #include "graph/arboricity.hpp"
+#include "graph/edgelist_bin.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
+#include "graph/rmat.hpp"
+#include "graph/stats.hpp"
 #include "registry/registry.hpp"
 #include "sim/metrics_io.hpp"
 #include "trace/collector.hpp"
@@ -63,10 +76,26 @@ namespace {
 using namespace valocal;
 
 Graph make_graph(const CliArgs& args) {
+  const auto build_threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  if (args.has("load-bin"))
+    return load_graph_bin(args.get_string("load-bin", ""), build_threads);
   if (args.has("input")) return load_edge_list(args.get_string("input", ""));
   const auto n = static_cast<std::size_t>(args.get_int("n", 4096));
   const auto a = static_cast<std::size_t>(args.get_int("a", 2));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("graph")) {
+    const std::string spec = args.get_string("graph", "");
+    const auto colon = spec.find(':');
+    const std::string family = spec.substr(0, colon);
+    if (family == "rmat" && colon != std::string::npos)
+      return gen::rmat(
+          gen::parse_rmat_spec(spec.substr(colon + 1), seed),
+          build_threads);
+    std::cerr << "unknown graph spec: " << spec
+              << " (expected rmat:SCALExEDGE_FACTOR, e.g. rmat:24x16)\n";
+    std::exit(2);
+  }
   const std::string gen = args.get_string("gen", "forest");
   if (gen == "ring") return gen::ring(n);
   if (gen == "path") return gen::path(n);
@@ -234,7 +263,8 @@ int unknown_algo(const std::string& algo) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.check_known({"gen", "input", "n", "a", "k", "eps", "seed",
+  args.check_known({"gen", "graph", "input", "load-bin", "save-bin",
+                    "stats", "n", "a", "k", "eps", "seed",
                     "avg-deg", "algo", "dot", "perm", "decay-csv",
                     "threads", "batch-trials", "timings-csv",
                     "rounds-csv", "histogram-csv", "phase-table",
@@ -252,6 +282,12 @@ int main(int argc, char** argv) {
   if (spec == nullptr) return unknown_algo(algo);
 
   Graph g = make_graph(args);
+  if (args.has("save-bin")) {
+    const std::string bin_path = args.get_string("save-bin", "");
+    save_edgelist_bin(bin_path, g);
+    std::cout << "binary edge list written to " << bin_path << " ("
+              << g.num_edges() << " edges)\n";
+  }
   if (args.has("perm")) {
     const auto perm_seed = static_cast<std::uint64_t>(
         args.get_int("perm", 0));
@@ -278,9 +314,9 @@ int main(int argc, char** argv) {
   trace::TraceCollector collector;
   std::optional<trace::ScopedSink> scoped_sink;
   if (opts.phase_table || !trace_json.empty() || !run_json.empty()) {
-    for (const char* key : {"gen", "input", "n", "a", "k", "eps",
-                            "seed", "avg-deg", "algo", "perm",
-                            "threads"})
+    for (const char* key : {"gen", "graph", "input", "load-bin", "n",
+                            "a", "k", "eps", "seed", "avg-deg", "algo",
+                            "perm", "threads"})
       if (args.has(key))
         collector.set_context(key, args.get_string(key, ""));
     collector.set_context("algo", algo);
@@ -291,6 +327,8 @@ int main(int argc, char** argv) {
   std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
             << " Delta=" << g.max_degree()
             << " degeneracy=" << degeneracy(g) << "\n";
+  if (args.has("stats"))
+    print_graph_stats(std::cout, compute_graph_stats(g));
 
   const auto batch_trials =
       static_cast<std::size_t>(args.get_int("batch-trials", 0));
