@@ -60,6 +60,26 @@ else
   echo "python3 unavailable; skipping trace JSON validation"
 fi
 
+# Frontier-mode smoke: the same run under every forced representation
+# and the auto switch must print identical semantic metrics through the
+# real CLI path (test_frontier_engine proves the byte-level contract
+# in-process; this guards the flag plumbing). wall-ms is the one
+# nondeterministic field on the line, so strip it before diffing.
+echo "--- frontier-mode smoke ---"
+for mode in auto dense sparse calendar; do
+  build/tools/valocal_cli --gen adversarial --n 20000 --algo ka2 \
+    --threads 2 --sleep-hints --frontier-mode "$mode" \
+    | grep '^rounds:' | sed 's/ wall-ms=.*//' \
+    > "trace_output/frontier_$mode.txt"
+done
+for mode in dense sparse calendar; do
+  cmp trace_output/frontier_auto.txt "trace_output/frontier_$mode.txt" || {
+    echo "frontier-mode smoke: --frontier-mode $mode changed the metrics"
+    exit 1
+  }
+done
+echo "frontier-mode smoke: metrics identical across auto/dense/sparse/calendar"
+
 # Registry smoke: --list-algos must enumerate the catalog, and every
 # registered algorithm must run and VALIDATE on a tiny graph through
 # the exact CLI path users take. ring(64) with a=2 satisfies every
@@ -96,9 +116,9 @@ echo "large-graph smoke: binary round-trip byte-identical"
 if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /tmp/valocal_tsan_probe 2>/dev/null; then
   rm -f /tmp/valocal_tsan_probe
   cmake -B build-tsan -G Ninja -DVALOCAL_SANITIZE=thread
-  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine test_registry test_rmat test_edgelist_bin
+  cmake --build build-tsan --target test_parallel_engine test_engine test_engine_contracts test_mailbox test_wake_engine test_frontier_engine test_registry test_rmat test_edgelist_bin
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine|test_registry|test_rmat|test_edgelist_bin' \
+    -R 'test_parallel_engine|test_engine$|test_engine_contracts|test_mailbox|test_wake_engine|test_frontier_engine|test_registry|test_rmat|test_edgelist_bin' \
     2>&1 | tee tsan_output.txt
 else
   echo "ThreadSanitizer unavailable; skipping TSan job" | tee tsan_output.txt

@@ -29,6 +29,12 @@ struct Metrics {
   // with sleep hints off. Simulator-cost accounting only: the skipped
   // steps are provably no-ops, so no semantic field depends on this.
   std::uint64_t skipped_steps = 0;
+  // Times run_local's per-round dispatch changed frontier
+  // representation (dense flat scan <-> sparse list / calendar). Like
+  // skipped_steps this is simulator-cost accounting: the representation
+  // schedule never affects outputs, r(v), or active_per_round. Always 0
+  // under a forced --frontier-mode and for the mailbox engine.
+  std::uint64_t frontier_switches = 0;
 
   std::uint64_t round_sum() const {
     std::uint64_t s = 0;

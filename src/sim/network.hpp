@@ -16,29 +16,58 @@
 // visible to neighbors forever, but it executes no further rounds.
 //
 // Memory layout (zero-copy publication). States live in a flat double
-// buffer: two dense arrays of States plus one byte of publication
-// parity per vertex. In round r every stepped vertex writes its next
-// state DIRECTLY into its slot of buffer r mod 2 — no staging vectors,
-// no merge pass — and readers locate any vertex u's last published
-// state as buffer[parity[u]][u]. Active vertices republish every
-// round, so their parity is always (r-1) mod 2 during round r; a
-// terminated vertex's parity freezes at its final round, which keeps
-// its last published state visible forever without any copy-forward.
-// Parity stamps are advanced only at the round barrier, so no reader
-// can observe an in-progress slot. See docs/MODEL.md ("Engine memory
-// layout & batching").
+// buffer: two dense arrays of States. In round r every stepped vertex
+// writes its next state DIRECTLY into its slot of buffer r mod 2 — no
+// staging vectors, no merge pass — and readers locate any vertex u's
+// last published state at buffer[(r-1) mod 2][u], a single indexed
+// load. That read rule is kept valid for dormant vertices (terminated
+// or parked) by FREEZING them at the round barrier of their last step:
+// the engine copies their final slot into the other buffer once, so
+// both buffers agree and the vertex never needs to republish. Active
+// vertices republish every round, so their slot in the read buffer is
+// always last round's publication. All freezes happen at the barrier,
+// serially, so no reader can observe an in-progress copy. See
+// docs/MODEL.md ("Engine memory layout & batching").
+//
+// Frontier representations (RunOptions::frontier_mode). The per-round
+// dispatch switches between three ways of enumerating the awake set on
+// a measured threshold — the dense-then-sparse active profile of the
+// paper's algorithms is exactly the shape where one representation
+// loses:
+//
+//   dense    — flat index-order scan of [0, n) skipping dormant
+//              vertices via a byte array (structure-of-arrays:
+//              `inactive`, `committed` are contiguous byte arrays laid
+//              out for sequential scans). Zero active-list
+//              maintenance; chosen when awake/n >= 1/4.
+//   sparse   — the sorted active list: per-chunk survivor lists merged
+//              in ascending-vertex chunk order, exactly the serial
+//              iteration.
+//   calendar — the sparse list plus the wake calendar
+//              (sim/wake_calendar.hpp) parking vertices whose
+//              next_wake() hint names a future round; per-round cost
+//              O(awake + newly-woken).
+//
+// `auto` picks dense above the threshold and otherwise
+// calendar-or-sparse (calendar iff sleep hints are armed); a switch is
+// a cheap comparison on the maintained awake count, not a rebuild —
+// only a dense->list transition pays one O(n) scan to rebuild the
+// list. The representation schedule is a pure function of the awake
+// counts, which are schedule-independent, so forcing any mode (tests,
+// CI diffs) or letting auto switch yields byte-identical outputs,
+// r(v), active_per_round, and RNG streams.
 //
 // Wake scheduling (opt-in, see WakeHinted / RunOptions::sleep_hints).
 // Algorithms whose vertices idle until a precomputed round — block
 // schedules, segment start rounds, phase boundaries — may declare a
 // next_wake() hint; the engine then parks such vertices in a calendar
-// queue (sim/wake_calendar.hpp) and skips their no-op steps, making
-// per-round cost O(awake + newly-woken) instead of O(active). A parked
+// queue (sim/wake_calendar.hpp) and skips their no-op steps. A parked
 // vertex is exactly the terminated-vertex path generalized to "until
-// round T": its published state and parity freeze, then it rejoins the
-// frontier. Results are byte-identical to the unhinted engine;
-// Metrics::skipped_steps and the trace `asleep` field record the
-// simulator work saved.
+// round T": its published state freezes into both buffers, then it
+// rejoins the frontier. Parking works in dense mode too (the dense
+// scan skips sleepers by byte test). Results are byte-identical to the
+// unhinted engine; Metrics::skipped_steps and the trace `asleep` field
+// record the simulator work saved.
 //
 // Algorithm interface (duck-typed; see LocalAlgorithm below):
 //
@@ -66,7 +95,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <iterator>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -82,21 +113,17 @@
 namespace valocal {
 
 /// Read-only window onto the previous round: own state plus the states
-/// of the (radius-1) neighborhood. Backed by the engine's epoch-stamped
-/// double buffer: vertex u's state is bufs[parity[u]][u], where
-/// parity[u] names the buffer u last published into (terminated
-/// vertices stop republishing, so their final state stays readable with
-/// no copy-forward). One view is constructed per work chunk and rebound
-/// per vertex; it never owns or copies state.
+/// of the (radius-1) neighborhood. Backed by the engine's double
+/// buffer: during round r the read side is buffer (r-1) mod 2, and the
+/// engine freezes every dormant vertex's final state into BOTH buffers
+/// at its last round's barrier, so one indexed load suffices for any
+/// vertex — active, parked, or terminated. One view is constructed per
+/// work chunk and rebound per vertex; it never owns or copies state.
 template <class State>
 class RoundView {
  public:
-  RoundView(const Graph& g, const State* buf0, const State* buf1,
-            const std::uint8_t* pub_parity)
-      : graph_(&g), pub_parity_(pub_parity) {
-    bufs_[0] = buf0;
-    bufs_[1] = buf1;
-  }
+  RoundView(const Graph& g, const State* read_buf)
+      : graph_(&g), read_(read_buf) {}
 
   std::size_t degree() const { return graph_->degree(v_); }
 
@@ -111,8 +138,7 @@ class RoundView {
   Vertex neighbor(std::size_t i) const { return graph_->neighbors(v_)[i]; }
 
   const State& neighbor_state(std::size_t i) const {
-    const Vertex u = graph_->neighbors(v_)[i];
-    return bufs_[pub_parity_[u]][u];
+    return read_[graph_->neighbors(v_)[i]];
   }
 
   /// Port of the shared edge within neighbor i's incident list — lets
@@ -125,10 +151,10 @@ class RoundView {
   const State& state_of(Vertex u) const {
     VALOCAL_DCHECK(graph_->has_edge(v_, u),
                    "LOCAL violation: reading a non-neighbor's state");
-    return bufs_[pub_parity_[u]][u];
+    return read_[u];
   }
 
-  const State& self() const { return bufs_[pub_parity_[v_]][v_]; }
+  const State& self() const { return read_[v_]; }
 
   /// Engine-internal: retarget the view at another vertex (run_local
   /// hoists view construction out of the per-vertex loop).
@@ -136,8 +162,7 @@ class RoundView {
 
  private:
   const Graph* graph_;
-  const State* bufs_[2];
-  const std::uint8_t* pub_parity_;
+  const State* read_;
   Vertex v_ = 0;
 };
 
@@ -275,6 +300,67 @@ inline void set_engine_sleep_hints(bool enabled) {
 
 inline bool engine_sleep_hints() { return detail_engine_sleep_hints(); }
 
+/// Per-round frontier representation policy (see the file comment and
+/// RunOptions::frontier_mode). kAuto switches on the measured
+/// awake-fraction threshold; the forced modes pin one representation
+/// for every round so tests and CI can diff them. Forcing kSparse also
+/// disarms wake-calendar parking (that is what distinguishes it from
+/// kCalendar); forcing kDense keeps parking armed — sleepers are
+/// skipped by byte test in the flat scan. All settings are
+/// byte-identical in outputs, r(v), active_per_round, and RNG streams.
+enum class FrontierMode : std::uint8_t {
+  kInherit = 0,  // RunOptions only: follow the process-wide default
+  kAuto = 1,
+  kDense = 2,
+  kSparse = 3,
+  kCalendar = 4,
+};
+
+inline const char* frontier_mode_name(FrontierMode mode) {
+  switch (mode) {
+    case FrontierMode::kAuto:
+      return "auto";
+    case FrontierMode::kDense:
+      return "dense";
+    case FrontierMode::kSparse:
+      return "sparse";
+    case FrontierMode::kCalendar:
+      return "calendar";
+    case FrontierMode::kInherit:
+      break;
+  }
+  return "inherit";
+}
+
+/// Parses the --frontier-mode / VALOCAL_FRONTIER_MODE spelling; empty
+/// optional on an unknown name.
+inline std::optional<FrontierMode> frontier_mode_from_name(
+    std::string_view name) {
+  if (name == "auto") return FrontierMode::kAuto;
+  if (name == "dense") return FrontierMode::kDense;
+  if (name == "sparse") return FrontierMode::kSparse;
+  if (name == "calendar") return FrontierMode::kCalendar;
+  return std::nullopt;
+}
+
+/// Process-wide default frontier mode, consulted by runs whose
+/// RunOptions::frontier_mode is kInherit. kAuto by default; tools and
+/// benches set it once from --frontier-mode / VALOCAL_FRONTIER_MODE,
+/// mirroring set_engine_threads().
+inline FrontierMode& detail_engine_frontier_mode() {
+  static FrontierMode mode = FrontierMode::kAuto;
+  return mode;
+}
+
+inline void set_engine_frontier_mode(FrontierMode mode) {
+  detail_engine_frontier_mode() =
+      mode == FrontierMode::kInherit ? FrontierMode::kAuto : mode;
+}
+
+inline FrontierMode engine_frontier_mode() {
+  return detail_engine_frontier_mode();
+}
+
 struct RunOptions {
   std::uint64_t seed = 0x5eedULL;
   /// Hard cap on rounds; 0 = automatic generous bound (64n + 100000).
@@ -304,6 +390,11 @@ struct RunOptions {
   /// they ARE running in the LOCAL model, only the simulator skips
   /// them. Metrics::skipped_steps records the saved work.
   SleepHints sleep_hints = SleepHints::kInherit;
+  /// Frontier representation policy: kInherit follows the process-wide
+  /// default (set_engine_frontier_mode(), initially kAuto). Purely a
+  /// simulator-cost knob — every setting is byte-identical (see
+  /// FrontierMode).
+  FrontierMode frontier_mode = FrontierMode::kInherit;
 };
 
 template <LocalAlgorithm A>
@@ -314,6 +405,13 @@ struct RunResult {
 };
 
 namespace detail_engine {
+
+/// Awake-fraction threshold for kAuto: dense when awake/n >= 1/4.
+/// Below it the flat scan reads >= 4 dormancy bytes per useful step,
+/// and the sparse list wins (measured on the ring and dense-phase
+/// fixtures; the exact constant is not load-bearing for correctness —
+/// the representation schedule is deterministic for any value).
+inline constexpr std::size_t kDenseFractionDenominator = 4;
 
 /// Reusable per-thread engine workspace. Everything run_local allocates
 /// that does NOT escape into the RunResult lives here, so repeated runs
@@ -326,14 +424,19 @@ namespace detail_engine {
 template <class State>
 struct EngineScratch {
   std::vector<State> buf1;
-  std::vector<std::uint8_t> pub_parity;
+  /// Structure-of-arrays dormancy bytes: 0 awake, 1 parked, 2
+  /// terminated. The dense scan's only per-vertex test.
+  std::vector<std::uint8_t> inactive;
   std::vector<std::uint8_t> committed;
   std::vector<Xoshiro256> rng;
   std::vector<Vertex> active;
   std::vector<Vertex> still_active;
   std::vector<Vertex> merged;
   std::vector<std::vector<Vertex>> chunk_active;
-  std::vector<std::vector<std::pair<Vertex, std::size_t>>> chunk_sleepers;
+  /// Per-chunk dormancy deltas: (v, wake_round), wake_round == 0
+  /// meaning terminated (real wake rounds are always > the current
+  /// round, hence nonzero). Applied at the barrier in chunk order.
+  std::vector<std::vector<std::pair<Vertex, std::size_t>>> chunk_dormant;
   std::vector<trace::ChunkCounters> chunk_counters;
   std::vector<std::size_t> round_phase_charged;
   WakeCalendar calendar;
@@ -369,19 +472,93 @@ class ScratchLease {
   EngineScratch<State> fallback_;
 };
 
+/// Steps one vertex and stages its side effects; returns true iff the
+/// vertex stays on the frontier (termination and parking are recorded
+/// as chunk-local dormancy deltas and applied at the round barrier).
+/// Deliberately a free function with explicit parameters, not a
+/// capturing lambda shared by the dense and sparse loops: the capture
+/// struct defeats scalar replacement and costs ~20% on step-light
+/// workloads, while explicit arguments inline cleanly into both loops.
+template <LocalAlgorithm A>
+[[gnu::always_inline]] inline bool step_one(
+    const A& algo, const Graph& g, std::size_t round, Vertex v,
+    RoundView<typename A::State>& view,
+    const typename A::State* read_buf, typename A::State* next_buf,
+    std::uint8_t* committed, std::vector<typename A::Output>& outputs,
+    std::uint32_t* rounds_out, Xoshiro256* rng_streams,
+    Xoshiro256& null_rng, bool parking, trace::ChunkCounters* counters,
+    std::vector<std::pair<Vertex, std::size_t>>& dormant) {
+  using State = typename A::State;
+  Xoshiro256& vertex_stream = [&]() -> Xoshiro256& {
+    if constexpr (algorithm_uses_rng<A>)
+      return rng_streams[v];
+    else
+      return null_rng;
+  }();
+  const State& prev = read_buf[v];
+  if (counters != nullptr) {
+    if (!committed[v]) {
+      ++counters->charged;
+      if constexpr (trace::PhaseTraced<A>)
+        ++counters->phase_charged[algo.trace_phase_of(v, round, prev)];
+    }
+    counters->volume_bytes +=
+        static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
+  }
+  view.rebind(v);
+  State& next = next_buf[v];
+  next = prev;  // carry last published state forward
+  StepResult verdict;
+  if constexpr (std::is_same_v<decltype(algo.step(v, round, view, next,
+                                                  vertex_stream)),
+                               bool>) {
+    verdict = algo.step(v, round, view, next, vertex_stream)
+                  ? StepResult::kTerminate
+                  : StepResult::kContinue;
+  } else {
+    verdict = algo.step(v, round, view, next, vertex_stream);
+  }
+  if (verdict != StepResult::kContinue && !committed[v]) {
+    rounds_out[v] = static_cast<std::uint32_t>(round);
+    outputs[v] = algo.output(v, next);
+    committed[v] = 1;
+    if (counters != nullptr) ++counters->committed;
+  }
+  if (verdict == StepResult::kTerminate) {
+    if (counters != nullptr) ++counters->terminated;
+    dormant.emplace_back(v, 0);
+    return false;
+  }
+  if constexpr (WakeHinted<A>) {
+    // Park a continuing vertex whose hint names a future round. Hints
+    // apply only to kContinue: a committed relay (kCommit) may still
+    // mutate state every round.
+    if (parking && verdict == StepResult::kContinue) {
+      const std::size_t wake = algo.next_wake(v, round, next);
+      if (wake > round + 1) {
+        dormant.emplace_back(v, wake);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace detail_engine
 
 /// Runs `algo` on `g` to completion and returns outputs plus metrics.
 ///
 /// Determinism contract. For fixed (graph, algorithm, seed), outputs,
 /// final_states, Metrics::rounds, and Metrics::active_per_round are
-/// byte-identical for every num_threads/grain combination: each active
-/// vertex is stepped exactly once per round against the previous
-/// round's double buffer with its own RNG stream, every per-vertex
-/// write (next state, r(v), committed output, parity stamp) lands in a
-/// slot only that vertex touches, and the surviving-active list is
-/// merged in ascending-vertex chunk order — reproducing exactly the
-/// serial iteration.
+/// byte-identical for every num_threads/grain/frontier_mode
+/// combination: each awake vertex is stepped exactly once per round
+/// against the previous round's buffer with its own RNG stream, every
+/// per-vertex write (next state, r(v), committed output, dormancy
+/// freeze) lands in a slot only that vertex touches, dormancy deltas
+/// are applied at the barrier in ascending-vertex chunk order, and the
+/// representation schedule is a pure function of the (deterministic)
+/// awake counts — so dense scans, sparse lists, and the calendar all
+/// reproduce exactly the serial ascending-vertex iteration.
 ///
 /// Output freezing. The first round in which a vertex returns kCommit
 /// or kTerminate fixes BOTH r(v) and its output: the engine snapshots
@@ -392,15 +569,17 @@ class ScratchLease {
 /// Observability. When a trace sink is installed (trace::set_sink —
 /// the slot is thread-local; the engine consults the calling thread's),
 /// the engine reports one RoundEvent per round — active / charged /
-/// committed / terminated counts, published-state volume (sizeof
-/// (State) * degree summed over stepped vertices) and, for algorithms
-/// satisfying trace::PhaseTraced, per-phase charged counts — plus
-/// run begin/end events carrying the pool's worker-load counters.
-/// All trace fields except wall_ns are sums over the round's vertex
-/// set and therefore covered by the determinism contract above. With
-/// no sink installed (the default) the tracing path reduces to one
-/// null-pointer test per vertex and the engine behaves exactly as
-/// before.
+/// committed / terminated counts, the round's frontier representation,
+/// published-state volume (sizeof(State) * degree summed over stepped
+/// vertices) and, for algorithms satisfying trace::PhaseTraced,
+/// per-phase charged counts — plus run begin/end events carrying the
+/// representation-switch total and the pool's worker-load counters.
+/// All trace fields except wall_ns (and the schedule-dependent
+/// frontier_mode label under kAuto vs forced modes) are sums over the
+/// round's vertex set and therefore covered by the determinism
+/// contract above. With no sink installed (the default) the tracing
+/// path reduces to one null-pointer test per vertex and the engine
+/// behaves exactly as before.
 template <LocalAlgorithm A>
 RunResult<A> run_local(const Graph& g, const A& algo,
                        RunOptions opt = {}) {
@@ -420,15 +599,13 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   detail_engine::ScratchLease<State> lease;
   detail_engine::EngineScratch<State>& ws = *lease;
 
-  // The epoch-stamped double buffer (see file comment). init() is
-  // round 0's publication: every vertex publishes into buffer 0.
-  // buf0 is freshly constructed — init() may assume a default State —
-  // and escapes as final_states; buf1 is pooled (never read before
-  // whole-object assignment).
+  // The double buffer (see file comment). init() is round 0's
+  // publication: every vertex publishes into buffer 0. buf0 is freshly
+  // constructed — init() may assume a default State — and escapes as
+  // final_states; buf1 is pooled (never read before whole-object
+  // assignment).
   std::vector<State> buf0(n);
   ws.buf1.resize(n);
-  auto& pub_parity = ws.pub_parity;
-  pub_parity.assign(n, 0);
   for (Vertex v = 0; v < n; ++v) algo.init(v, g, buf0[v]);
   State* const bufs[2] = {buf0.data(), ws.buf1.data()};
 
@@ -441,9 +618,16 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     for (Vertex v = 0; v < n; ++v) rng.push_back(vertex_rng(opt.seed, v));
   }
 
+  // Frontier state (see file comment). The byte array is authoritative;
+  // the sparse list mirrors it only while list rounds run — a dense
+  // round invalidates it, and the first list round after a dense run
+  // rebuilds it with one O(n) scan.
+  auto& inactive = ws.inactive;
+  inactive.assign(n, 0);
+  std::size_t awake_count = n;
   auto& active = ws.active;
-  active.resize(n);
-  for (Vertex v = 0; v < n; ++v) active[v] = v;
+  active.clear();
+  bool list_valid = false;
 
   const std::size_t cap =
       opt.max_rounds != 0 ? opt.max_rounds : 64 * n + 100000;
@@ -463,8 +647,20 @@ RunResult<A> run_local(const Graph& g, const A& algo,
         opt.sleep_hints == SleepHints::kOn ||
         (opt.sleep_hints == SleepHints::kInherit && engine_sleep_hints());
   }
+  FrontierMode forced = opt.frontier_mode != FrontierMode::kInherit
+                            ? opt.frontier_mode
+                            : engine_frontier_mode();
+  if (forced == FrontierMode::kInherit) forced = FrontierMode::kAuto;
+  // Parking is armed by the sleep-hint toggle and survives dense rounds
+  // (the flat scan skips sleepers); only forcing kSparse disarms it —
+  // that forced mode IS the no-calendar engine.
+  const bool parking = sleep_hints && forced != FrontierMode::kSparse;
   WakeCalendar& calendar = ws.calendar;
   calendar.reset(1);
+  // kAuto picks dense while awake_count >= n / kDenseFractionDenominator
+  // (evaluated multiplication-side to avoid rounding): deterministic,
+  // since awake counts are schedule-independent.
+  const std::size_t dense_num = detail_engine::kDenseFractionDenominator;
 
   // Outputs snapshotted at commit/terminate time (see contract above):
   // dense array + committed bitmap, so the hot path never touches an
@@ -492,14 +688,15 @@ RunResult<A> run_local(const Graph& g, const A& algo,
         phase_names);
 
   ThreadPool pool(num_threads);
-  // Per-chunk survivor lists give the parallel path its deterministic
+  // Per-chunk survivor lists give the sparse path its deterministic
   // merge order (chunk c covers active[c*grain, (c+1)*grain), so chunk
-  // order IS ascending-vertex order); states themselves are published
-  // in place and never staged. Trace counters follow the same scheme:
-  // chunk-private accumulation, merged by summation
-  // (order-independent, hence byte-deterministic).
+  // order IS ascending-vertex order); the dense path needs none —
+  // index order is vertex order by construction. Dormancy deltas and
+  // trace counters follow the same scheme: chunk-private accumulation,
+  // applied/merged at the barrier in chunk order (deltas) or by
+  // summation (counters; order-independent, hence byte-deterministic).
   auto& chunk_active = ws.chunk_active;
-  auto& chunk_sleepers = ws.chunk_sleepers;
+  auto& chunk_dormant = ws.chunk_dormant;
   auto& chunk_counters = ws.chunk_counters;
   auto& round_phase_charged = ws.round_phase_charged;
   auto& still_active = ws.still_active;
@@ -510,30 +707,20 @@ RunResult<A> run_local(const Graph& g, const A& algo,
   trace::ChunkCounters sleep_counters;
 
   std::size_t round = 0;
-  while (!active.empty() || calendar.sleeping() > 0) {
+  std::size_t switches = 0;
+  FrontierMode last_repr = FrontierMode::kInherit;  // none yet
+  while (awake_count > 0 || calendar.sleeping() > 0) {
     ++round;
-    // Wake phase: pop this round's bucket (sorted ascending) and merge
-    // it into the (ascending) active frontier. A woken vertex whose
-    // frozen state sits in this round's WRITE buffer is first copied to
-    // the read side — otherwise its in-place `next = prev` would alias
-    // the slot neighbors are reading. The copy happens serially, before
-    // any reader runs, and preserves the published value exactly.
-    if (sleep_hints) {
-      std::vector<Vertex>& woken = calendar.take(round);
-      if (!woken.empty()) {
-        const auto write_parity = static_cast<std::uint8_t>(round & 1);
-        for (const Vertex v : woken) {
-          if (pub_parity[v] == write_parity) {
-            bufs[1 - write_parity][v] = bufs[write_parity][v];
-            pub_parity[v] = static_cast<std::uint8_t>(1 - write_parity);
-          }
-        }
-        auto& merged = ws.merged;
-        merged.clear();
-        merged.reserve(active.size() + woken.size());
-        std::merge(active.begin(), active.end(), woken.begin(),
-                   woken.end(), std::back_inserter(merged));
-        active.swap(merged);
+    // Wake phase: pop this round's bucket (sorted ascending). The woken
+    // vertices' frozen states already sit in BOTH buffers, so flipping
+    // their dormancy byte is the whole transition; the sparse path
+    // additionally merges them into the (ascending) active list below.
+    std::vector<Vertex>* woken = nullptr;
+    if (parking) {
+      woken = &calendar.take(round);
+      if (!woken->empty()) {
+        for (const Vertex v : *woken) inactive[v] = 0;
+        awake_count += woken->size();
       }
     }
     const std::size_t asleep = calendar.sleeping();
@@ -543,46 +730,88 @@ RunResult<A> run_local(const Graph& g, const A& algo,
                     "round cap exceeded: round %llu with %llu vertices "
                     "still active (cap %llu) — non-terminating run?",
                     static_cast<unsigned long long>(round),
-                    static_cast<unsigned long long>(active.size() + asleep),
+                    static_cast<unsigned long long>(awake_count + asleep),
                     static_cast<unsigned long long>(cap));
       detail::contract_failure("invariant", "round <= cap", __FILE__,
                                __LINE__, msg);
     }
-    result.metrics.active_per_round.push_back(active.size() + asleep);
+    result.metrics.active_per_round.push_back(awake_count + asleep);
     result.metrics.skipped_steps += asleep;
+
+    // Representation decision: forced modes pin it; kAuto compares the
+    // maintained awake count against the dense threshold. Counted as a
+    // switch whenever the label changes between consecutive rounds.
+    FrontierMode repr;
+    switch (forced) {
+      case FrontierMode::kDense:
+        repr = FrontierMode::kDense;
+        break;
+      case FrontierMode::kSparse:
+        repr = FrontierMode::kSparse;
+        break;
+      case FrontierMode::kCalendar:
+        repr = FrontierMode::kCalendar;
+        break;
+      default:
+        repr = awake_count * dense_num >= n
+                   ? FrontierMode::kDense
+                   : (parking ? FrontierMode::kCalendar
+                              : FrontierMode::kSparse);
+        break;
+    }
+    if (last_repr != FrontierMode::kInherit && repr != last_repr)
+      ++switches;
+    last_repr = repr;
+    const bool dense = repr == FrontierMode::kDense;
+    if (dense) {
+      // Dormancy transitions during a dense round bypass the list;
+      // the next list round rebuilds it from the byte array.
+      list_valid = false;
+    } else if (!list_valid) {
+      active.clear();
+      for (Vertex v = 0; v < n; ++v)
+        if (inactive[v] == 0) active.push_back(v);
+      list_valid = true;
+    } else if (woken != nullptr && !woken->empty()) {
+      auto& merged = ws.merged;
+      merged.clear();
+      merged.reserve(active.size() + woken->size());
+      std::merge(active.begin(), active.end(), woken->begin(),
+                 woken->end(), std::back_inserter(merged));
+      active.swap(merged);
+    }
+    VALOCAL_DCHECK(dense || active.size() == awake_count,
+                   "sparse active list out of sync with awake count");
     const auto round_start = Clock::now();
 
     // Chunk size only shapes the schedule, never the result; the
     // automatic choice aims for a few chunks per worker so dynamic
-    // claiming absorbs per-chunk load imbalance.
+    // claiming absorbs per-chunk load imbalance. Dense rounds chunk
+    // the full index range, sparse rounds the active list.
+    const std::size_t domain = dense ? n : active.size();
     const std::size_t grain =
         opt.grain != 0
             ? opt.grain
             : std::max<std::size_t>(
-                  64, (active.size() + 4 * num_threads - 1) /
-                          (4 * num_threads));
-    const std::size_t num_chunks = (active.size() + grain - 1) / grain;
-    if (chunk_active.size() < num_chunks) chunk_active.resize(num_chunks);
-    if (sleep_hints && chunk_sleepers.size() < num_chunks)
-      chunk_sleepers.resize(num_chunks);
+                  64, (domain + 4 * num_threads - 1) / (4 * num_threads));
+    const std::size_t num_chunks = (domain + grain - 1) / grain;
+    if (!dense && chunk_active.size() < num_chunks)
+      chunk_active.resize(num_chunks);
+    if (chunk_dormant.size() < num_chunks) chunk_dormant.resize(num_chunks);
     if (sink != nullptr && chunk_counters.size() < num_chunks)
       chunk_counters.resize(num_chunks);
 
-    // This round's write buffer. Every active vertex writes only its
-    // own slot; terminated vertices' slots in it are never written, so
-    // reads of their (other-parity) state stay safe.
+    // This round's write buffer; the other one is the frozen read side.
+    // Every awake vertex writes only its own slot; dormant vertices'
+    // slots are never written, so reads of their frozen state are safe.
     State* const next_buf = bufs[round & 1];
+    const State* const read_buf = bufs[1 - (round & 1)];
 
     pool.parallel_for_chunks(
-        active.size(), grain,
+        domain, grain,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          auto& still = chunk_active[chunk];
-          still.clear();
-          std::vector<std::pair<Vertex, std::size_t>>* sleepers = nullptr;
-          if (sleep_hints) {
-            sleepers = &chunk_sleepers[chunk];
-            sleepers->clear();
-          }
+          auto& dormant = chunk_dormant[chunk];
+          dormant.clear();
           trace::ChunkCounters* counters = nullptr;
           if (sink != nullptr) {
             counters = &chunk_counters[chunk];
@@ -591,80 +820,50 @@ RunResult<A> run_local(const Graph& g, const A& algo,
           // Shared null stream for algorithms that never draw: keeps
           // the step signature uniform without building n streams.
           [[maybe_unused]] Xoshiro256 null_rng(0);
-          RoundView<State> view(g, bufs[0], bufs[1], pub_parity.data());
-          for (std::size_t i = begin; i < end; ++i) {
-            const Vertex v = active[i];
-            Xoshiro256& vertex_stream = [&]() -> Xoshiro256& {
-              if constexpr (algorithm_uses_rng<A>)
-                return rng[v];
-              else
-                return null_rng;
-            }();
-            const State& prev = bufs[pub_parity[v]][v];
-            if (counters != nullptr) {
-              if (!committed[v]) {
-                ++counters->charged;
-                if constexpr (trace::PhaseTraced<A>)
-                  ++counters->phase_charged[algo.trace_phase_of(v, round,
-                                                                prev)];
-              }
-              counters->volume_bytes +=
-                  static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
+          RoundView<State> view(g, read_buf);
+          Xoshiro256* const rng_streams = [&]() -> Xoshiro256* {
+            if constexpr (algorithm_uses_rng<A>)
+              return rng.data();
+            else
+              return nullptr;
+          }();
+          std::uint32_t* const rounds_out = result.metrics.rounds.data();
+          std::uint8_t* const committed_out = committed.data();
+          if (dense) {
+            // Flat index-order scan: vertex order IS index order, so
+            // there is no survivor list to maintain at all.
+            const std::uint8_t* const dormancy = inactive.data();
+            for (std::size_t idx = begin; idx < end; ++idx) {
+              if (dormancy[idx] != 0) continue;
+              (void)detail_engine::step_one(
+                  algo, g, round, static_cast<Vertex>(idx), view,
+                  read_buf, next_buf, committed_out, outputs, rounds_out,
+                  rng_streams, null_rng, parking, counters, dormant);
             }
-            view.rebind(v);
-            State& next = next_buf[v];
-            next = prev;  // carry last published state forward
-            StepResult verdict;
-            if constexpr (std::is_same_v<
-                              decltype(algo.step(v, round, view, next,
-                                                 vertex_stream)),
-                              bool>) {
-              verdict = algo.step(v, round, view, next, vertex_stream)
-                            ? StepResult::kTerminate
-                            : StepResult::kContinue;
-            } else {
-              verdict = algo.step(v, round, view, next, vertex_stream);
-            }
-            if (verdict != StepResult::kContinue && !committed[v]) {
-              result.metrics.rounds[v] = static_cast<std::uint32_t>(round);
-              outputs[v] = algo.output(v, next);
-              committed[v] = 1;
-              if (counters != nullptr) ++counters->committed;
-            }
-            if (verdict == StepResult::kTerminate) {
-              if (counters != nullptr) ++counters->terminated;
-            } else {
-              bool parked = false;
-              if constexpr (WakeHinted<A>) {
-                // Park a continuing vertex whose hint names a future
-                // round. Hints apply only to kContinue: a committed
-                // relay (kCommit) may still mutate state every round.
-                if (sleepers != nullptr &&
-                    verdict == StepResult::kContinue) {
-                  const std::size_t wake = algo.next_wake(v, round, next);
-                  if (wake > round + 1) {
-                    sleepers->emplace_back(v, wake);
-                    parked = true;
-                  }
-                }
-              }
-              if (!parked) still.push_back(v);
+          } else {
+            auto& still = chunk_active[chunk];
+            still.clear();
+            for (std::size_t i = begin; i < end; ++i) {
+              const Vertex v = active[i];
+              if (detail_engine::step_one(
+                      algo, g, round, v, view, read_buf, next_buf,
+                      committed_out, outputs, rounds_out, rng_streams,
+                      null_rng, parking, counters, dormant))
+                still.push_back(v);
             }
           }
         });
 
-    // Round barrier. Publish this round's writes by advancing the
-    // parity stamps of every stepped vertex (terminators freeze here,
-    // at their final round's parity), then merge the survivor lists in
+    // Round barrier, part 1 (sparse only): merge the survivor lists in
     // chunk order — exactly the serial ascending-vertex iteration.
-    const auto parity = static_cast<std::uint8_t>(round & 1);
-    for (Vertex v : active) pub_parity[v] = parity;
-    still_active.clear();
-    for (std::size_t c = 0; c < num_chunks; ++c)
-      still_active.insert(still_active.end(), chunk_active[c].begin(),
-                          chunk_active[c].end());
-    const std::size_t stepped = active.size();
-    active.swap(still_active);
+    const std::size_t stepped = awake_count;
+    if (!dense) {
+      still_active.clear();
+      for (std::size_t c = 0; c < num_chunks; ++c)
+        still_active.insert(still_active.end(), chunk_active[c].begin(),
+                            chunk_active[c].end());
+      active.swap(still_active);
+    }
 
     // Sleeper accounting, BEFORE parking this round's new sleepers
     // (those were stepped above and already counted by their chunks).
@@ -677,17 +876,33 @@ RunResult<A> run_local(const Graph& g, const A& algo,
           ++sleep_counters.charged;
           if constexpr (trace::PhaseTraced<A>)
             ++sleep_counters.phase_charged[algo.trace_phase_of(
-                v, round, bufs[pub_parity[v]][v])];
+                v, round, read_buf[v])];
         }
         sleep_counters.volume_bytes +=
             static_cast<std::uint64_t>(sizeof(State)) * g.degree(v);
       });
     }
-    if (sleep_hints) {
-      for (std::size_t c = 0; c < num_chunks; ++c)
-        for (const auto& [v, wake] : chunk_sleepers[c])
+
+    // Round barrier, part 2: apply the dormancy deltas. Each dormant
+    // vertex's last write is frozen into the other buffer (so future
+    // rounds' single-buffer reads see it without republication), its
+    // byte is stamped, and parked vertices enter the calendar —
+    // serially, in chunk order, touching per-vertex slots only.
+    State* const other_buf = bufs[1 - (round & 1)];
+    std::size_t dormant_total = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (const auto& [v, wake] : chunk_dormant[c]) {
+        other_buf[v] = next_buf[v];
+        if (wake == 0) {
+          inactive[v] = 2;
+        } else {
+          inactive[v] = 1;
           calendar.schedule(v, wake);
+        }
+      }
+      dormant_total += chunk_dormant[c].size();
     }
+    awake_count -= dormant_total;
 
     result.metrics.round_wall_ns.push_back(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -699,6 +914,7 @@ RunResult<A> run_local(const Graph& g, const A& algo,
       event.round = round;
       event.active = stepped + asleep;
       event.asleep = asleep;
+      event.frontier_mode = static_cast<std::uint8_t>(repr);
       round_phase_charged.assign(num_phases, 0);
       for (std::size_t c = 0; c < num_chunks; ++c) {
         const auto& counters = chunk_counters[c];
@@ -720,6 +936,7 @@ RunResult<A> run_local(const Graph& g, const A& algo,
       sink->on_round(event);
     }
   }
+  result.metrics.frontier_switches = switches;
 
   if (sink != nullptr) {
     trace::RunEndEvent end;
@@ -728,23 +945,21 @@ RunResult<A> run_local(const Graph& g, const A& algo,
     end.worst_case = result.metrics.worst_case();
     end.wall_ns = result.metrics.total_wall_ns();
     end.skipped_steps = result.metrics.skipped_steps;
+    end.frontier_switches = switches;
     end.worker_load = pool.worker_load();
     sink->on_run_end(end);
   }
 
-  // Every vertex that left the active set committed on the way out, so
+  // Every vertex that left the frontier committed on the way out, so
   // the dense array IS the output vector; the fallback only covers
   // vertices that never ran (n == 0 is the only such case today).
   for (Vertex v = 0; v < n; ++v)
-    if (!committed[v]) outputs[v] = algo.output(v, bufs[pub_parity[v]][v]);
+    if (!committed[v]) outputs[v] = algo.output(v, buf0[v]);
   result.outputs = std::move(outputs);
 
-  // Collapse the double buffer into one final-states vector: buffer 0
-  // already holds every even-parity vertex's last state. (buf1 is the
-  // pooled workspace buffer; moved-from slots are fine, the next run
-  // whole-assigns them.)
-  for (Vertex v = 0; v < n; ++v)
-    if (pub_parity[v] != 0) buf0[v] = std::move(ws.buf1[v]);
+  // Dormancy freezes copied every vertex's final state into both
+  // buffers, and the loop only exits with every vertex terminated — so
+  // buffer 0 already IS the final-states vector, no collapse pass.
   result.final_states = std::move(buf0);
   return result;
 }

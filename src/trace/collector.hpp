@@ -40,6 +40,7 @@ struct RoundSample {
   std::uint64_t volume_bytes = 0;
   std::uint64_t messages = 0;
   std::uint64_t wall_ns = 0;
+  std::uint8_t frontier_mode = 0;  // FrontierMode value; 0 for mailbox
   std::vector<std::size_t> phase_charged;
 };
 
@@ -60,6 +61,7 @@ struct RunRecord {
   std::uint64_t wall_ns = 0;
   std::uint64_t messages = 0;
   std::uint64_t skipped_steps = 0;  // wake-scheduling savings (0 hints-off)
+  std::uint64_t frontier_switches = 0;  // representation changes (0 forced)
   std::vector<std::uint64_t> worker_chunks;   // schedule-dependent
   std::vector<std::uint64_t> worker_indices;  // schedule-dependent
   double begin_us = 0.0;  // relative to the collector's epoch

@@ -88,6 +88,13 @@ struct RoundEvent {
   /// run_local, whose communication is the published-state volume).
   std::uint64_t messages = 0;
   std::uint64_t wall_ns = 0;   // NOT semantic: engine-measured time
+  /// Frontier representation run_local executed this round with
+  /// (numeric FrontierMode value: 2 dense, 3 sparse, 4 calendar; 0 for
+  /// the mailbox engine, which has no representation choice). Semantic
+  /// under a FIXED frontier-mode setting — it is a pure function of
+  /// the deterministic awake counts — but intentionally different
+  /// between forced modes, like `asleep` between hint settings.
+  std::uint8_t frontier_mode = 0;
   /// Charged count per algorithm phase, parallel to the names passed
   /// to on_run_begin; empty when the algorithm declares no phases.
   /// The entries sum to `charged`. Valid only during the callback.
@@ -105,6 +112,9 @@ struct RunEndEvent {
   /// Total vertex-rounds skipped by wake scheduling (sum of the
   /// per-round `asleep` counts); 0 with sleep hints off.
   std::uint64_t skipped_steps = 0;
+  /// Frontier-representation changes between consecutive rounds; 0
+  /// under a forced mode and for the mailbox engine.
+  std::uint64_t frontier_switches = 0;
   /// Per-thread chunk/index counters from the engine's pool (slot 0 =
   /// the dispatching thread). Schedule-dependent — load-imbalance
   /// evidence, not semantic. Empty for the mailbox engine.

@@ -207,6 +207,67 @@ TEST(Mailbox, InboxRecyclingTracksDeliveriesNotN) {
   EXPECT_LE(result.inboxes_cleared, traced);
 }
 
+// Dense broadcast phase, then a lone token circling the ring: the run
+// crosses the engine's dense/sparse clear-strategy threshold mid-token
+// phase (untracked flat sweep while active*2 >= n, touched-list
+// tracking after). The inbox-recycle count has a closed form either
+// way, so asserting exact equality witnesses that BOTH strategies
+// count precisely the non-empty inboxes — the flat sweep must not
+// count all n, and the tracked path must not miss any.
+struct PulseThenToken {
+  std::size_t dense_rounds;  // D: rounds of all-to-neighbors pulses
+  std::size_t horizon;       // failsafe only; never reached when correct
+
+  struct State {
+    bool done = false;
+  };
+  struct Message {
+    bool token = false;
+  };
+  using Output = bool;
+
+  void init(Vertex, const Graph&, State&, Outbox<Message>& out) const {
+    out.broadcast({});
+  }
+  bool step(Vertex v, std::size_t round, const Inbox<Message>& in,
+            State& s, Outbox<Message>& out, Xoshiro256&) const {
+    if (round <= dense_rounds) {
+      out.broadcast({});
+      if (round == dense_rounds && v == 0) out.send(1, {.token = true});
+      return false;
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (!in.message(i).token) continue;
+      out.send(in.port(i) == 0 ? 1 : 0, {.token = true});
+      s.done = true;
+      return true;
+    }
+    return round >= horizon;
+  }
+  Output output(Vertex, const State& s) const { return s.done; }
+};
+
+TEST(Mailbox, DenseAndSparseClearCountsAreExact) {
+  const std::size_t n = 64, d = 4;
+  const Graph g = gen::ring(n);
+  const auto result =
+      run_mailbox(g, PulseThenToken{.dense_rounds = d, .horizon = d + n + 2});
+
+  for (Vertex v = 0; v < n; ++v) EXPECT_TRUE(result.outputs[v]);
+  // Rounds 1..D+1 deliver the previous round's pulses into all n
+  // inboxes; rounds D+2..D+n deliver exactly the token. The total is a
+  // closed form — any over-count (flat sweep charging empty inboxes)
+  // or under-count (tracked path missing a delivery) breaks equality.
+  const std::size_t rounds = result.metrics.active_per_round.size();
+  EXPECT_EQ(rounds, d + n);
+  EXPECT_EQ(result.inboxes_cleared, (d + 1) * n + (n - 1));
+  // The run crosses the strategy threshold: the token phase starts all
+  // active (dense, untracked) and drains one vertex per round into the
+  // tracked regime.
+  EXPECT_EQ(result.metrics.active_per_round.front(), n);
+  EXPECT_EQ(result.metrics.active_per_round.back(), 1u);
+}
+
 TEST(Mailbox, PartitionInboxRecyclingBoundedByMessages) {
   const Graph g = gen::forest_union(400, 3, 131);
   const auto result =

@@ -119,6 +119,39 @@ TEST(Registry, DeterministicSpecsAreByteStableAcrossRunsAndThreads) {
   }
 }
 
+TEST(Registry, EverySpecIsByteStableAcrossFrontierModes) {
+  // The engine's frontier representation (dense scan / sparse list /
+  // calendar) is a throughput knob: every algorithm in the catalog —
+  // deterministic or randomized at a fixed seed — must produce the
+  // same labels, r(v), and decay series under every forced mode and
+  // every thread count as under the default auto switch.
+  for (const AlgoSpec& spec : Registry::instance().all()) {
+    SCOPED_TRACE(spec.name);
+    const Graph g = compatible_graph(spec);
+    AlgoParams p = default_params();
+    p.seed = 41;
+    const SolveOutcome ref = spec.run(g, p);
+    for (const FrontierMode mode :
+         {FrontierMode::kDense, FrontierMode::kSparse,
+          FrontierMode::kCalendar, FrontierMode::kAuto}) {
+      for (const std::size_t threads : {1u, 4u}) {
+        SCOPED_TRACE(std::string(frontier_mode_name(mode)) +
+                     " threads=" + std::to_string(threads));
+        set_engine_frontier_mode(mode);
+        set_engine_threads(threads);
+        const SolveOutcome o = spec.run(g, p);
+        EXPECT_EQ(o.labels, ref.labels);
+        EXPECT_EQ(o.metrics.rounds, ref.metrics.rounds);
+        EXPECT_EQ(o.metrics.active_per_round,
+                  ref.metrics.active_per_round);
+        EXPECT_EQ(o.summary, ref.summary);
+      }
+    }
+    set_engine_frontier_mode(FrontierMode::kAuto);
+    set_engine_threads(1);
+  }
+}
+
 TEST(Registry, RandomizedSpecsArePureFunctionsOfTheSeed) {
   for (const AlgoSpec& spec : Registry::instance().all()) {
     if (spec.deterministic) continue;

@@ -297,6 +297,35 @@ TEST(WakeCalendar, CompactionKeepsLongRunsBounded) {
   EXPECT_EQ(cal.sleeping(), 2u);
 }
 
+TEST(WakeCalendar, InterleavedRunsPopSorted) {
+  // Several scheduling rounds target the same buckets, each appending
+  // an ascending subsequence (the engine's chunk-order barrier always
+  // appends ascending within one round). take() must fold the recorded
+  // runs back into one ascending sequence with the exact multiset.
+  WakeCalendar cal;
+  cal.reset(1);
+  const std::size_t waves = 5, span = 7, n = 200;
+  for (std::size_t w = 0; w < waves; ++w)
+    for (Vertex v = static_cast<Vertex>(w); v < n;
+         v += static_cast<Vertex>(waves))
+      cal.schedule(v, 2 + (v % span));
+  EXPECT_EQ(cal.sleeping(), n);
+
+  std::vector<bool> seen(n, false);
+  for (std::size_t round = 1; round <= 1 + span; ++round) {
+    const auto& woken = cal.take(round);
+    EXPECT_TRUE(std::is_sorted(woken.begin(), woken.end()))
+        << "round " << round;
+    for (const Vertex v : woken) {
+      EXPECT_EQ(v % span, round - 2) << "vertex in wrong bucket";
+      EXPECT_FALSE(seen[v]) << "vertex popped twice";
+      seen[v] = true;
+    }
+  }
+  EXPECT_EQ(cal.sleeping(), 0u);
+  for (Vertex v = 0; v < n; ++v) EXPECT_TRUE(seen[v]) << "lost " << v;
+}
+
 TEST(WakeCalendar, ResetClearsPendingWakes) {
   WakeCalendar cal;
   cal.reset(1);
