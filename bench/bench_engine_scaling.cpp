@@ -61,12 +61,33 @@ std::vector<ScalingRow>& json_rows() {
   return rows;
 }
 
+// Build-configuration stamp for the JSON dump: BENCH_engine.json
+// snapshots are only comparable within one compiler + flag set, so
+// scripts/perf_snapshot.py lifts this block into the host record.
+// VALOCAL_OPT_FLAGS is injected by bench/CMakeLists.txt with the
+// effective CMAKE_CXX_FLAGS for the active build type.
+#ifndef VALOCAL_OPT_FLAGS
+#define VALOCAL_OPT_FLAGS "unknown"
+#endif
+constexpr const char* kCompilerId =
+#if defined(__clang__)
+    "clang";
+#elif defined(__GNUC__)
+    "gcc";
+#else
+    "unknown";
+#endif
+
 void write_json_rows() {
   const char* path = std::getenv("VALOCAL_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::ofstream os(path);
   os << "{\n  \"hardware_threads\": "
-     << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
+     << std::thread::hardware_concurrency()
+     << ",\n  \"compiler\": {\"id\": \"" << kCompilerId
+     << "\", \"version\": \"" << __VERSION__
+     << "\", \"opt_flags\": \"" << VALOCAL_OPT_FLAGS
+     << "\"},\n  \"rows\": [\n";
   const auto& rows = json_rows();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ScalingRow& r = rows[i];

@@ -9,23 +9,31 @@
 # change and commit the refreshed file alongside it. The perf-smoke job
 # in scripts/run_all.sh compares against the LATEST snapshot.
 #
-# Usage: scripts/bench_baseline.sh [label]        (default: "snapshot")
+# Usage: scripts/bench_baseline.sh [label] [preset]
+#   label   snapshot label recorded in BENCH_engine.json (default:
+#           "snapshot")
+#   preset  CMake preset to build and measure (default: "release";
+#           "release-native" adds -march=native — note snapshots from
+#           different presets are not comparable, the compiler block in
+#           the host record says which one was used)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL="${1:-snapshot}"
+PRESET="${2:-release}"
+BUILD_DIR="build-${PRESET}"
 MICRO_JSON="$(mktemp /tmp/valocal_bench_micro.XXXXXX.json)"
 SCALING_JSON="$(mktemp /tmp/valocal_bench_scaling.XXXXXX.json)"
 trap 'rm -f "$MICRO_JSON" "$SCALING_JSON"' EXIT
 
-cmake --preset release
-cmake --build --preset release --target bench_micro bench_engine_scaling
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" --target bench_micro bench_engine_scaling
 
-build-release/bench/bench_micro \
+"$BUILD_DIR"/bench/bench_micro \
   --benchmark_filter='BM_Engine' \
   --benchmark_min_time=0.2 \
   --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
 
-VALOCAL_BENCH_JSON="$SCALING_JSON" build-release/bench/bench_engine_scaling
+VALOCAL_BENCH_JSON="$SCALING_JSON" "$BUILD_DIR"/bench/bench_engine_scaling
 
 python3 scripts/perf_snapshot.py append "$LABEL" "$MICRO_JSON" "$SCALING_JSON"

@@ -21,63 +21,6 @@ DeltaPlusOneAlgo::DeltaPlusOneAlgo(std::size_t num_vertices,
   params_.check();
 }
 
-bool DeltaPlusOneAlgo::step(Vertex, std::size_t round,
-                            const RoundView<State>& view, State& next,
-                            Xoshiro256&) const {
-  VALOCAL_ENSURE(round <= schedule_.total_rounds(),
-                 "delta_plus1 schedule exhausted with active vertices");
-  const auto& self = view.self();
-
-  // Preset vertex (partial-solution extension): announce and stop,
-  // marking itself non-active for the partition's counting.
-  if (self.color >= 0) {
-    if (self.hset == 0) next.hset = -1;
-    return true;
-  }
-
-  const std::size_t iter = schedule_.iteration(round);
-  const std::size_t pos = schedule_.position(round);
-
-  if (pos == 0) {
-    if (self.hset == 0)
-      next.hset = partition_try_join(iter, view, params_.threshold());
-    return false;
-  }
-  if (self.hset != static_cast<std::int32_t>(iter)) return false;
-
-  const std::size_t plan_rounds = plan_->num_rounds();
-  if (pos <= plan_rounds) {
-    // Auxiliary (A+1)-coloring of G(H_i).
-    std::vector<std::uint64_t> nbrs;
-    nbrs.reserve(view.degree());
-    for (std::size_t i = 0; i < view.degree(); ++i) {
-      const auto& nbr = view.neighbor_state(i);
-      if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
-    }
-    next.aux = plan_->advance(pos - 1, self.aux, nbrs);
-    return false;
-  }
-
-  // Sweep: auxiliary class c acts in sweep slot c.
-  const std::size_t slot = pos - plan_rounds - 1;
-  if (self.aux != slot) return false;
-
-  // List of v: {0..Delta} minus colors already fixed at any neighbor
-  // (terminated neighbors and earlier sweep slots of the same H-set).
-  std::vector<char> taken(max_degree_ + 1, 0);
-  for (std::size_t i = 0; i < view.degree(); ++i) {
-    const auto& nbr = view.neighbor_state(i);
-    if (nbr.color >= 0) taken[nbr.color] = 1;
-  }
-  std::int32_t pick = 0;
-  while (pick <= static_cast<std::int32_t>(max_degree_) && taken[pick])
-    ++pick;
-  VALOCAL_ENSURE(pick <= static_cast<std::int32_t>(max_degree_),
-                 "Delta+1 palette exhausted");
-  next.color = pick;
-  return true;
-}
-
 ColoringResult extend_delta_plus1(const Graph& g, PartitionParams params,
                                   std::vector<std::int32_t> partial) {
   VALOCAL_TRACE_PHASE("extend_delta_plus1");

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "util/assertx.hpp"
 #include "algo/coloring_result.hpp"
 #include "algo/deg_plus_one_plan.hpp"
 #include "algo/extension.hpp"
@@ -31,6 +33,22 @@ class DeltaPlusOneAlgo {
     std::uint64_t aux = 0;
     std::int32_t color = -1;  // final color; -1 until decided
   };
+  /// SoA layout trait (StatePacked): every published field is hot —
+  /// partition counts `hset`, the plan reads `aux`, the sweep scans
+  /// neighbor `color`s (see sim/state_pack.hpp).
+  struct Ref {
+    std::int32_t& hset;
+    std::uint64_t& aux;
+    std::int32_t& color;
+  };
+  struct CRef {
+    const std::int32_t& hset;
+    const std::uint64_t& aux;
+    const std::int32_t& color;
+  };
+  using StatePack =
+      StatePackDesc<State, Ref, CRef, Hot<&State::hset>,
+                    Hot<&State::aux>, Hot<&State::color>>;
   using Output = int;
 
   DeltaPlusOneAlgo(std::size_t num_vertices, std::size_t max_degree,
@@ -50,10 +68,95 @@ class DeltaPlusOneAlgo {
     if (v < preset_.size() && preset_[v] >= 0) s.color = preset_[v];
   }
 
-  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
-            State& next, Xoshiro256&) const;
+  /// Generic over the view/state representation (AoS State& or packed
+  /// Ref) — one body serves both layouts byte-identically.
+  template <class View, class NextState>
+  bool step(Vertex, std::size_t round, const View& view,
+            NextState& next, Xoshiro256&) const {
+    VALOCAL_ENSURE(round <= schedule_.total_rounds(),
+                   "delta_plus1 schedule exhausted with active vertices");
+    const auto& self = view.self();
 
-  Output output(Vertex, const State& s) const { return s.color; }
+    // Preset vertex (partial-solution extension): announce and stop,
+    // marking itself non-active for the partition's counting.
+    if (self.color >= 0) {
+      if (self.hset == 0) next.hset = -1;
+      return true;
+    }
+
+    const std::size_t iter = schedule_.iteration(round);
+    const std::size_t pos = schedule_.position(round);
+
+    if (pos == 0) {
+      if (self.hset == 0)
+        next.hset = partition_try_join(iter, view, params_.threshold());
+      return false;
+    }
+    if (self.hset != static_cast<std::int32_t>(iter)) return false;
+
+    const std::size_t plan_rounds = plan_->num_rounds();
+    if (pos <= plan_rounds) {
+      // Auxiliary (A+1)-coloring of G(H_i).
+      std::vector<std::uint64_t> nbrs;
+      nbrs.reserve(view.degree());
+      for (std::size_t i = 0; i < view.degree(); ++i) {
+        const auto& nbr = view.neighbor_state(i);
+        if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
+      }
+      next.aux = plan_->advance(pos - 1, self.aux, nbrs);
+      return false;
+    }
+
+    // Sweep: auxiliary class c acts in sweep slot c.
+    const std::size_t slot = pos - plan_rounds - 1;
+    if (self.aux != slot) return false;
+
+    // List of v: {0..Delta} minus colors already fixed at any neighbor
+    // (terminated neighbors and earlier sweep slots of the same H-set).
+    std::vector<char> taken(max_degree_ + 1, 0);
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      const auto& nbr = view.neighbor_state(i);
+      if (nbr.color >= 0) taken[nbr.color] = 1;
+    }
+    std::int32_t pick = 0;
+    while (pick <= static_cast<std::int32_t>(max_degree_) && taken[pick])
+      ++pick;
+    VALOCAL_ENSURE(pick <= static_cast<std::int32_t>(max_degree_),
+                   "Delta+1 palette exhausted");
+    next.color = pick;
+    return true;
+  }
+
+  template <class StateLike>
+  Output output(Vertex, const StateLike& s) const {
+    return s.color;
+  }
+
+  /// Wake hint (WakeHinted): the composition schedule makes idle
+  /// stretches exactly computable from the published state. A vertex
+  /// that has not joined an H-set steps usefully only in partition
+  /// rounds (position 0); every in-between round is a provable no-op
+  /// (it fails the `hset == iter` guard without writing), so it parks
+  /// until the next iteration opens. A vertex inside its own
+  /// iteration's sweep acts only at its auxiliary class's slot; the
+  /// earlier sweep rounds are no-ops too. Plan rounds refresh `aux`
+  /// every round and stay unhinted.
+  template <class StateLike>
+  std::size_t next_wake(Vertex, std::size_t round,
+                        const StateLike& s) const {
+    const std::size_t block = schedule_.block();
+    std::size_t wake = round + 1;
+    if (s.hset <= 0) {
+      // Next partition round: position 0 of the following iteration.
+      wake = schedule_.iteration(round) * block + 1;
+    } else if (schedule_.position(round) > plan_->num_rounds()) {
+      // Sweeping: acts (and terminates) only at its own slot.
+      wake = (static_cast<std::size_t>(s.hset) - 1) * block + 1 +
+             plan_->num_rounds() + 1 +
+             static_cast<std::size_t>(s.aux);
+    }
+    return std::max(wake, round + 1);
+  }
 
   static constexpr bool uses_rng = false;
 
@@ -65,8 +168,9 @@ class DeltaPlusOneAlgo {
   std::span<const char* const> trace_phases() const {
     return kTracePhases;
   }
+  template <class StateLike>
   std::size_t trace_phase_of(Vertex, std::size_t round,
-                             const State&) const {
+                             const StateLike&) const {
     const std::size_t pos = schedule_.position(round);
     if (pos == 0) return 0;
     return pos <= plan_->num_rounds() ? 1 : 2;

@@ -183,6 +183,31 @@ bool EdgeColoringAlgo::step(Vertex, std::size_t round,
   return pos == schedule_.sub_rounds;
 }
 
+std::size_t EdgeColoringAlgo::next_wake(Vertex, std::size_t round,
+                                        const State& s) const {
+  std::size_t wake = round + 1;
+  if (s.hset <= 0) {
+    const std::size_t block = schedule_.block();
+    const std::size_t iter = schedule_.iteration(round);
+    const std::size_t pos = schedule_.position(round);
+    const std::size_t cross_begin =
+        2 + line_plan_rounds() + (2 * params_.threshold() - 1);
+    if (pos < cross_begin) {
+      // Idle until this iteration's first assign phase.
+      wake = (iter - 1) * block + 1 + cross_begin;
+    } else if ((pos - cross_begin) % 2 == 0) {
+      // Assign phase for label j = (pos - cross_begin) / 2: the next
+      // head duty is label j+1's assign phase two rounds on, or the
+      // next partition round once the labels are exhausted.
+      wake = (pos - cross_begin) / 2 + 1 < params_.threshold()
+                 ? round + 2
+                 : iter * block + 1;
+    }
+    // Ingest phases: the next assign phase IS round + 1 — no parking.
+  }
+  return std::max(wake, round + 1);
+}
+
 EdgeColoringResult compute_edge_coloring(const Graph& g,
                                          PartitionParams params) {
   VALOCAL_TRACE_PHASE("edge_coloring");

@@ -57,6 +57,17 @@ class EdgeColoringAlgo {
 
   Output output(Vertex, const State& s) const { return s.ecolor; }
 
+  /// Wake hint (WakeHinted): a still-active vertex (hset == 0) only
+  /// ever acts in partition rounds and in the cross stage's assign
+  /// phases, where it colors incoming label-j edges as a head — the
+  /// flag/plan/resolve stretch of every iteration is a provable no-op
+  /// for it (the hset == 0 branch writes nothing outside assign
+  /// phases), so it parks until the iteration's first assign phase,
+  /// then hops assign phase to assign phase and finally to the next
+  /// partition round. H-set members act round to round and stay
+  /// unhinted.
+  std::size_t next_wake(Vertex, std::size_t round, const State& s) const;
+
   static constexpr bool uses_rng = false;
 
   std::size_t palette_bound(std::size_t max_degree) const {

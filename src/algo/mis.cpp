@@ -16,52 +16,6 @@ MisAlgo::MisAlgo(std::size_t num_vertices, PartitionParams params)
   params_.check();
 }
 
-bool MisAlgo::step(Vertex, std::size_t round,
-                   const RoundView<State>& view, State& next,
-                   Xoshiro256&) const {
-  VALOCAL_ENSURE(round <= schedule_.total_rounds(),
-                 "mis schedule exhausted with active vertices");
-  const auto& self = view.self();
-
-  // Early exit: an MIS neighbor dominates this vertex forever. A vertex
-  // exiting before joining an H-set marks hset = -1 so neighbors stop
-  // counting it as partition-active.
-  for (std::size_t i = 0; i < view.degree(); ++i)
-    if (view.neighbor_state(i).status == 1) {
-      next.status = -1;
-      if (self.hset == 0) next.hset = -1;
-      return true;
-    }
-
-  const std::size_t iter = schedule_.iteration(round);
-  const std::size_t pos = schedule_.position(round);
-
-  if (pos == 0) {
-    if (self.hset == 0)
-      next.hset = partition_try_join(iter, view, params_.threshold());
-    return false;
-  }
-  if (self.hset != static_cast<std::int32_t>(iter)) return false;
-
-  const std::size_t plan_rounds = plan_->num_rounds();
-  if (pos <= plan_rounds) {
-    std::vector<std::uint64_t> nbrs;
-    nbrs.reserve(view.degree());
-    for (std::size_t i = 0; i < view.degree(); ++i) {
-      const auto& nbr = view.neighbor_state(i);
-      if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
-    }
-    next.aux = plan_->advance(pos - 1, self.aux, nbrs);
-    return false;
-  }
-
-  const std::size_t slot = pos - plan_rounds - 1;
-  if (self.aux != slot) return false;
-  // No MIS neighbor observed (checked above): join.
-  next.status = 1;
-  return true;
-}
-
 MisResult compute_mis(const Graph& g, PartitionParams params) {
   VALOCAL_TRACE_PHASE("mis");
   MisAlgo algo(g.num_vertices(), params);

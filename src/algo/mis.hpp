@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/assertx.hpp"
 #include "algo/deg_plus_one_plan.hpp"
 #include "algo/extension.hpp"
 #include "algo/partition.hpp"
@@ -27,16 +28,80 @@ class MisAlgo {
     std::uint64_t aux = 0;
     std::int8_t status = 0;  // 0 undecided, 1 in MIS, -1 dominated
   };
+  /// SoA layout trait (StatePacked): every published field is hot —
+  /// the domination scan reads `status`, the partition step `hset`,
+  /// the plan sweep `aux` (see sim/state_pack.hpp).
+  struct Ref {
+    std::int32_t& hset;
+    std::uint64_t& aux;
+    std::int8_t& status;
+  };
+  struct CRef {
+    const std::int32_t& hset;
+    const std::uint64_t& aux;
+    const std::int8_t& status;
+  };
+  using StatePack =
+      StatePackDesc<State, Ref, CRef, Hot<&State::hset>,
+                    Hot<&State::aux>, Hot<&State::status>>;
   using Output = std::int8_t;
 
   MisAlgo(std::size_t num_vertices, PartitionParams params);
 
   void init(Vertex v, const Graph&, State& s) const { s.aux = v; }
 
-  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
-            State& next, Xoshiro256&) const;
+  /// Generic over the view/state representation (AoS State& or packed
+  /// Ref) — one body serves both layouts byte-identically.
+  template <class View, class NextState>
+  bool step(Vertex, std::size_t round, const View& view,
+            NextState& next, Xoshiro256&) const {
+    VALOCAL_ENSURE(round <= schedule_.total_rounds(),
+                   "mis schedule exhausted with active vertices");
+    const auto& self = view.self();
 
-  Output output(Vertex, const State& s) const { return s.status; }
+    // Early exit: an MIS neighbor dominates this vertex forever. A
+    // vertex exiting before joining an H-set marks hset = -1 so
+    // neighbors stop counting it as partition-active.
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      if (view.neighbor_state(i).status == 1) {
+        next.status = -1;
+        if (self.hset == 0) next.hset = -1;
+        return true;
+      }
+
+    const std::size_t iter = schedule_.iteration(round);
+    const std::size_t pos = schedule_.position(round);
+
+    if (pos == 0) {
+      if (self.hset == 0)
+        next.hset = partition_try_join(iter, view, params_.threshold());
+      return false;
+    }
+    if (self.hset != static_cast<std::int32_t>(iter)) return false;
+
+    const std::size_t plan_rounds = plan_->num_rounds();
+    if (pos <= plan_rounds) {
+      std::vector<std::uint64_t> nbrs;
+      nbrs.reserve(view.degree());
+      for (std::size_t i = 0; i < view.degree(); ++i) {
+        const auto& nbr = view.neighbor_state(i);
+        if (nbr.hset == self.hset) nbrs.push_back(nbr.aux);
+      }
+      next.aux = plan_->advance(pos - 1, self.aux, nbrs);
+      return false;
+    }
+
+    const std::size_t slot = pos - plan_rounds - 1;
+    if (self.aux != slot) return false;
+    // No MIS neighbor observed (checked above): join.
+    next.status = 1;
+    return true;
+  }
+
+  template <class StateLike>
+  Output output(Vertex, const StateLike& s) const {
+    return s.status;
+  }
 
   // Deliberately NOT WakeHinted: an undecided vertex checks every round
   // whether a neighbor just entered the MIS (early domination exit), so
@@ -51,8 +116,9 @@ class MisAlgo {
   std::span<const char* const> trace_phases() const {
     return kTracePhases;
   }
+  template <class StateLike>
   std::size_t trace_phase_of(Vertex, std::size_t round,
-                             const State&) const {
+                             const StateLike&) const {
     const std::size_t pos = schedule_.position(round);
     if (pos == 0) return 0;
     return pos <= plan_->num_rounds() ? 1 : 2;

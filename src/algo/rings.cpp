@@ -100,59 +100,6 @@ std::vector<std::uint64_t> cv_schedule(std::uint64_t n) {
 RingColoring3Algo::RingColoring3Algo(std::size_t num_vertices)
     : cv_rounds_(cv_schedule(num_vertices).size() - 1) {}
 
-bool RingColoring3Algo::step(Vertex v, std::size_t round,
-                             const RoundView<State>& view, State& next,
-                             Xoshiro256&) const {
-  const auto& self = view.self();
-
-  // Oriented-ring convention (as in [12] / Cole-Vishkin): the successor
-  // of v is the neighbor with id (v+1) mod n. On the canonical ring one
-  // neighbor is v+1, except at the wrap vertex n-1 whose successor is
-  // its smaller neighbor 0.
-  const Vertex n0 = view.neighbor(0), n1 = view.neighbor(1);
-  const Vertex succ = (n0 == v + 1 || n1 == v + 1)
-                          ? (n0 == v + 1 ? n0 : n1)
-                          : std::min(n0, n1);
-
-  if (round <= cv_rounds_) {
-    const std::uint64_t mine = self.color;
-    const std::uint64_t theirs = view.state_of(succ).color;
-    VALOCAL_ENSURE(mine != theirs, "oriented ring coloring broke");
-    const unsigned k = static_cast<unsigned>(
-        std::countr_zero(mine ^ theirs));
-    next.color = 2 * k + ((mine >> k) & 1);
-    return false;
-  }
-  // Shift-free reduction 6 -> 3: rounds cv+1, cv+2, cv+3 retire colors
-  // 5, 4, 3. Same-colored vertices are never adjacent, so the greedy
-  // pick is race-free.
-  const std::size_t slot = round - cv_rounds_;  // 1..3
-  const std::uint64_t retire = 6 - slot;        // 5, 4, 3
-  if (self.color == retire) {
-    const std::uint64_t c0 = view.neighbor_state(0).color;
-    const std::uint64_t c1 = view.neighbor_state(1).color;
-    std::uint64_t pick = 0;
-    while (pick == c0 || pick == c1) ++pick;
-    VALOCAL_ENSURE(pick <= 2, "3-coloring pick escaped the palette");
-    next.color = pick;
-  }
-  if (slot == 3) {
-    next.final_color = static_cast<std::int32_t>(next.color);
-    return true;
-  }
-  return false;
-}
-
-std::size_t RingColoring3Algo::next_wake(Vertex, std::size_t round,
-                                         const State& s) const {
-  if (round < cv_rounds_) return round + 1;  // bit reduction every round
-  // Slots cv+1, cv+2, cv+3 retire colors 5, 4, 3; a vertex acts only
-  // in its own retirement slot and in the joint termination slot cv+3.
-  const std::size_t wake =
-      cv_rounds_ + (s.color >= 3 && s.color <= 5 ? 6 - s.color : 3);
-  return std::max(wake, round + 1);
-}
-
 ColoringResult compute_ring_3coloring(const Graph& ring) {
   VALOCAL_REQUIRE(ring.num_vertices() >= 3, "need a ring");
   const auto n = static_cast<Vertex>(ring.num_vertices());

@@ -28,6 +28,8 @@
 // the worst case, the paper's motivating negative example.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +37,7 @@
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "util/assertx.hpp"
 
 namespace valocal {
 
@@ -74,26 +77,100 @@ LeaderElectionResult compute_ring_leader_election(const Graph& ring);
 
 class RingColoring3Algo {
  public:
+  /// Published state is the color word alone: the terminal color IS
+  /// `color` at commit time (the engine snapshots outputs at the
+  /// commit round), so a separate final_color member would be dead
+  /// weight copied every round in both layouts.
   struct State {
     std::uint64_t color = 0;
-    std::int32_t final_color = -1;
   };
+  /// SoA layout trait (StatePacked): the single published field is hot
+  /// — the Cole-Vishkin loop reads nothing but `color`, so the packed
+  /// engine runs one flat u64 column per side. The proxy structs
+  /// mirror State's member names so step bodies stay layout-oblivious
+  /// (see sim/state_pack.hpp).
+  struct Ref {
+    std::uint64_t& color;
+  };
+  struct CRef {
+    const std::uint64_t& color;
+  };
+  using StatePack = StatePackDesc<State, Ref, CRef, Hot<&State::color>>;
   using Output = int;
 
   explicit RingColoring3Algo(std::size_t num_vertices);
 
   void init(Vertex v, const Graph&, State& s) const { s.color = v; }
 
-  bool step(Vertex v, std::size_t round, const RoundView<State>& view,
-            State& next, Xoshiro256&) const;
+  /// Generic over the view/state representation (AoS State& or packed
+  /// Ref) — one body serves both layouts byte-identically. Forced
+  /// inline: the step is a handful of bit operations, and the packed
+  /// instantiation's proxy plumbing otherwise tips GCC's inline-cost
+  /// model into an out-of-line call per vertex — which then dominates
+  /// the engine fixtures this algorithm exists to keep honest.
+  template <class View, class NextState>
+  [[gnu::always_inline]] inline bool step(Vertex v, std::size_t round,
+                                          const View& view,
+                                          NextState& next,
+                                          Xoshiro256&) const {
+    const auto& self = view.self();
 
-  Output output(Vertex, const State& s) const { return s.final_color; }
+    // Oriented-ring convention (as in [12] / Cole-Vishkin): the
+    // successor of v is the neighbor with id (v+1) mod n. On the
+    // canonical ring one neighbor is v+1, except at the wrap vertex
+    // n-1 whose successor is its smaller neighbor 0.
+    const Vertex n0 = view.neighbor(0), n1 = view.neighbor(1);
+    const Vertex succ = (n0 == v + 1 || n1 == v + 1)
+                            ? (n0 == v + 1 ? n0 : n1)
+                            : std::min(n0, n1);
+
+    if (round <= cv_rounds_) {
+      const std::uint64_t mine = self.color;
+      const std::uint64_t theirs = view.state_of(succ).color;
+      VALOCAL_ENSURE(mine != theirs, "oriented ring coloring broke");
+      const unsigned k = static_cast<unsigned>(
+          std::countr_zero(mine ^ theirs));
+      next.color = 2 * k + ((mine >> k) & 1);
+      return false;
+    }
+    // Shift-free reduction 6 -> 3: rounds cv+1, cv+2, cv+3 retire
+    // colors 5, 4, 3. Same-colored vertices are never adjacent, so the
+    // greedy pick is race-free.
+    const std::size_t slot = round - cv_rounds_;  // 1..3
+    const std::uint64_t retire = 6 - slot;        // 5, 4, 3
+    if (self.color == retire) {
+      const std::uint64_t c0 = view.neighbor_state(0).color;
+      const std::uint64_t c1 = view.neighbor_state(1).color;
+      std::uint64_t pick = 0;
+      while (pick == c0 || pick == c1) ++pick;
+      VALOCAL_ENSURE(pick <= 2, "3-coloring pick escaped the palette");
+      next.color = pick;
+    }
+    return slot == 3;
+  }
+
+  /// Read at the commit round (slot 3), where color <= 2 is
+  /// guaranteed by the step contract above.
+  template <class StateLike>
+  Output output(Vertex, const StateLike& s) const {
+    return static_cast<Output>(s.color);
+  }
 
   /// Wake hint (WakeHinted): after Cole-Vishkin settles, the 6 -> 3
   /// slots retire colors 5, 4, 3 in fixed rounds — a vertex whose
   /// color is not scheduled for retirement idles until its slot (or
   /// the joint termination round).
-  std::size_t next_wake(Vertex, std::size_t round, const State& s) const;
+  template <class StateLike>
+  std::size_t next_wake(Vertex, std::size_t round,
+                        const StateLike& s) const {
+    if (round < cv_rounds_) return round + 1;  // bit reduction each round
+    // Slots cv+1, cv+2, cv+3 retire colors 5, 4, 3; a vertex acts only
+    // in its own retirement slot and in the joint termination slot
+    // cv+3.
+    const std::size_t wake =
+        cv_rounds_ + (s.color >= 3 && s.color <= 5 ? 6 - s.color : 3);
+    return std::max(wake, round + 1);
+  }
 
   static constexpr bool uses_rng = false;
 

@@ -1,0 +1,423 @@
+// Opt-in structure-of-arrays (SoA) state layout for the round engine.
+//
+// Motivation. run_local's double buffer is by default two dense arrays
+// of whole State structs. A dense-mode flat scan therefore touches
+// sizeof(State) bytes per vertex even when the step only reads one
+// 4-byte color — the published-field working set is inflated by every
+// cold field riding in the struct. An algorithm may instead declare a
+// `StatePack` descriptor naming its published fields; the engine then
+// stores the HOT fields in per-field double-buffered flat columns
+// (bool fields widened to one byte so slots stay addressable, enums
+// already byte-wide) and the COLD fields in a dense side array, and
+// the dense frontier scan iterates the columns in flat index order —
+// contiguous loads/stores GCC/Clang auto-vectorize, and the per-vertex
+// carry-forward of untouched fields becomes a bulk per-column memcpy.
+//
+// Declaring a pack (see algo/rings.hpp for the canonical example):
+//
+//   struct MyAlgo {
+//     struct State { std::uint32_t color; std::uint8_t phase; };
+//     struct Ref   { std::uint32_t& color; std::uint8_t& phase; };
+//     struct CRef  { const std::uint32_t& color;
+//                    const std::uint8_t& phase; };
+//     using StatePack = valocal::StatePackDesc<State, Ref, CRef,
+//         valocal::Hot<&State::color>, valocal::Hot<&State::phase>>;
+//     ...
+//   };
+//
+// Ref/CRef are structs of references with the SAME member names as
+// State, declared in descriptor field order — the pack
+// aggregate-initializes them, so packed and unpacked instantiations of
+// a (templated) step() compile against the same spellings
+// (`next.color`, `view.neighbor_state(i).phase`). Contract: the
+// descriptor must list EVERY field the algorithm publishes or mutates
+// (hot or cold); fields absent from the descriptor are invisible to
+// packed steps and would silently go stale. `bool` hot fields are
+// stored as std::uint8_t columns; the proxies must declare
+// `std::uint8_t&` for them (boolean-context uses compile either way).
+//
+// Determinism. The layout is a pure memory-placement choice: outputs,
+// r(v), active_per_round, and RNG streams are byte-identical between
+// packed and AoS runs (tests/test_frontier_engine.cpp and
+// tests/test_registry.cpp sweep the axis). Selection is per-run
+// (RunOptions::layout), defaulting to the process-wide knob below
+// (kAuto = packed whenever the algorithm declares a pack), with
+// --layout / VALOCAL_LAYOUT forcing for A/B runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace valocal {
+
+/// Per-run state-layout policy (see RunOptions::layout). Mirrors
+/// FrontierMode: kInherit follows the process-wide default, kAuto
+/// resolves to kPacked for algorithms declaring a StatePack and kAos
+/// otherwise, and the forced values pin one layout for A/B testing.
+/// Every setting is byte-identical in outputs, r(v), active_per_round,
+/// and RNG streams.
+enum class StateLayout : std::uint8_t {
+  kInherit = 0,  // RunOptions only: follow the process-wide default
+  kAuto = 1,
+  kPacked = 2,
+  kAos = 3,
+};
+
+inline const char* state_layout_name(StateLayout layout) {
+  switch (layout) {
+    case StateLayout::kAuto:
+      return "auto";
+    case StateLayout::kPacked:
+      return "packed";
+    case StateLayout::kAos:
+      return "aos";
+    case StateLayout::kInherit:
+      break;
+  }
+  return "inherit";
+}
+
+/// Parses the --layout / VALOCAL_LAYOUT spelling; empty optional on an
+/// unknown name.
+inline std::optional<StateLayout> state_layout_from_name(
+    std::string_view name) {
+  if (name == "auto") return StateLayout::kAuto;
+  if (name == "packed") return StateLayout::kPacked;
+  if (name == "aos") return StateLayout::kAos;
+  return std::nullopt;
+}
+
+/// Process-wide default layout, consulted by runs whose
+/// RunOptions::layout is kInherit. kAuto by default; tools and benches
+/// set it once from --layout / VALOCAL_LAYOUT, mirroring
+/// set_engine_frontier_mode().
+inline StateLayout& detail_engine_state_layout() {
+  static StateLayout layout = StateLayout::kAuto;
+  return layout;
+}
+
+inline void set_engine_state_layout(StateLayout layout) {
+  detail_engine_state_layout() =
+      layout == StateLayout::kInherit ? StateLayout::kAuto : layout;
+}
+
+inline StateLayout engine_state_layout() {
+  return detail_engine_state_layout();
+}
+
+namespace detail_pack {
+
+template <class M>
+struct member_traits;
+template <class C, class T>
+struct member_traits<T C::*> {
+  using object_type = C;
+  using value_type = T;
+};
+
+/// Placeholder occupying a cold field's slot in the pointer bundles so
+/// hot fields keep their descriptor index into the tuples.
+struct Nothing {};
+
+}  // namespace detail_pack
+
+/// Field tag: store this member in a flat double-buffered column.
+template <auto Member>
+struct Hot {
+  static constexpr auto member = Member;
+  static constexpr bool is_hot = true;
+  using value_type =
+      typename detail_pack::member_traits<decltype(Member)>::value_type;
+  /// bool widens to a byte: vector<bool> has no addressable elements,
+  /// which defeats both reference proxies and memcpy publication.
+  using column_type = std::conditional_t<std::is_same_v<value_type, bool>,
+                                         std::uint8_t, value_type>;
+  static_assert(std::is_trivially_copyable_v<column_type>,
+                "hot fields must be trivially copyable scalars");
+  using storage = std::vector<column_type>;
+  using pointer = column_type*;
+  using const_pointer = const column_type*;
+};
+
+/// Field tag: keep this member in the dense cold side array (one State
+/// per vertex, only the cold members of it ever read). For fields the
+/// step touches rarely or that own heap storage (vectors).
+template <auto Member>
+struct Cold {
+  static constexpr auto member = Member;
+  static constexpr bool is_hot = false;
+  using value_type =
+      typename detail_pack::member_traits<decltype(Member)>::value_type;
+  using storage = detail_pack::Nothing;
+  using pointer = detail_pack::Nothing;
+  using const_pointer = detail_pack::Nothing;
+};
+
+namespace detail_pack {
+
+template <class F>
+constexpr std::size_t hot_width() {
+  if constexpr (F::is_hot)
+    return sizeof(typename F::column_type);
+  else
+    return 0;
+}
+
+}  // namespace detail_pack
+
+/// The pack descriptor an algorithm exposes as `using StatePack = ...`.
+/// Carries the storage layout (per-field columns + optional cold side
+/// array, both double-buffered) and every per-vertex operation the
+/// engine needs: proxy construction, carry-forward, bulk hot-range
+/// copy, freeze publication, and State scatter/gather at the run's
+/// edges. All operations are field-order-deterministic and touch only
+/// vertex v's slots, so the engine's write-disjointness argument is
+/// unchanged under this layout.
+template <class StateT, class RefT, class CRefT, class... Fields>
+struct StatePackDesc {
+  using State = StateT;
+  using Ref = RefT;
+  using CRef = CRefT;
+
+  static constexpr std::size_t kNumFields = sizeof...(Fields);
+  static constexpr bool kHasCold = (... || !Fields::is_hot);
+  /// Bytes per vertex actually resident in the hot columns — the
+  /// packed replacement for sizeof(State) in working-set terms (the
+  /// trace layer reports packed_bytes = charged volume rescaled by
+  /// kHotBytes / sizeof(State)).
+  static constexpr std::size_t kHotBytes =
+      (detail_pack::hot_width<Fields>() + ... + 0);
+  static_assert(kNumFields > 0, "a StatePack must name at least one field");
+
+  /// One side of the double buffer.
+  struct Side {
+    std::tuple<typename Fields::storage...> columns;
+    std::vector<State> cold;
+  };
+
+  struct Store {
+    Side side[2];
+    void resize(std::size_t n) {
+      for (auto& s : side) {
+        std::apply([n](auto&... col) { (resize_one(col, n), ...); },
+                   s.columns);
+        if constexpr (kHasCold) s.cold.resize(n);
+      }
+    }
+
+   private:
+    template <class V>
+    static void resize_one(V& col, std::size_t n) {
+      if constexpr (!std::is_same_v<V, detail_pack::Nothing>) col.resize(n);
+    }
+  };
+
+  /// Raw per-field pointers into one side — resolved once per round so
+  /// the hot loops index flat arrays directly.
+  struct Ptrs {
+    std::tuple<typename Fields::pointer...> cols{};
+    State* cold = nullptr;
+  };
+  struct CPtrs {
+    std::tuple<typename Fields::const_pointer...> cols{};
+    const State* cold = nullptr;
+  };
+
+  static Ptrs ptrs(Store& st, int side) {
+    Ptrs p;
+    bind_ptrs(p, st.side[side], std::index_sequence_for<Fields...>{});
+    return p;
+  }
+  static CPtrs cptrs(const Store& st, int side) {
+    CPtrs p;
+    bind_ptrs(p, st.side[side], std::index_sequence_for<Fields...>{});
+    return p;
+  }
+
+  static Ref ref(const Ptrs& p, std::size_t v) {
+    return make_proxy<Ref>(p, v, std::index_sequence_for<Fields...>{});
+  }
+  static CRef cref(const CPtrs& p, std::size_t v) {
+    return make_proxy<CRef>(p, v, std::index_sequence_for<Fields...>{});
+  }
+
+  /// Per-field carry of vertex v's hot slots, src side -> dst side.
+  static void copy_hot(const Ptrs& dst, const CPtrs& src, std::size_t v) {
+    copy_hot_impl(dst, src, v, std::index_sequence_for<Fields...>{});
+  }
+  /// Carry of vertex v's cold slot (no-op for all-hot packs).
+  static void copy_cold(const Ptrs& dst, const CPtrs& src, std::size_t v) {
+    if constexpr (kHasCold) dst.cold[v] = src.cold[v];
+  }
+  /// Full publication of vertex v — the freeze-at-barrier copy. Only
+  /// the packed fields a dormant vertex actually publishes move.
+  static void copy_vertex(const Ptrs& dst, const CPtrs& src, std::size_t v) {
+    copy_hot(dst, src, v);
+    copy_cold(dst, src, v);
+  }
+  /// Contiguous hot-column copy of [begin, end) — the dense scan's
+  /// bulk carry-forward. One memcpy per column; the compiler lowers
+  /// these to wide vector moves. Safe over dormant slots because
+  /// freezes made both sides byte-identical there.
+  static void copy_hot_range(const Ptrs& dst, const CPtrs& src,
+                             std::size_t begin, std::size_t end) {
+    copy_range_impl(dst, src, begin, end,
+                    std::index_sequence_for<Fields...>{});
+  }
+
+  /// Round-0 publication: spread an initialized State across the
+  /// columns and (when present) the cold slot.
+  static void scatter(const Ptrs& dst, std::size_t v, const State& s) {
+    if constexpr (kHasCold) dst.cold[v] = s;
+    scatter_impl(dst, v, s, std::index_sequence_for<Fields...>{});
+  }
+  /// Reassembles vertex v's full State (final_states, fallback
+  /// outputs). Exact inverse of scatter as long as the descriptor
+  /// lists every published field (see the file comment's contract).
+  static State gather(const CPtrs& src, std::size_t v) {
+    State out{};
+    if constexpr (kHasCold) out = src.cold[v];
+    gather_impl(out, src, v, std::index_sequence_for<Fields...>{});
+    return out;
+  }
+  /// Bulk gather of all n vertices, column at a time — the run
+  /// epilogue's final_states reassembly. Equivalent to n gather()
+  /// calls (value-initialized State, cold slot copy, hot fields from
+  /// the columns) but walks each column sequentially instead of
+  /// re-walking the field tuple per vertex.
+  static void gather_all(std::vector<State>& out, const CPtrs& src,
+                         std::size_t n) {
+    if constexpr (kHasCold)
+      out.assign(src.cold, src.cold + n);
+    else
+      out.assign(n, State{});
+    gather_all_impl(out, src, n, std::index_sequence_for<Fields...>{});
+  }
+
+ private:
+  template <std::size_t I>
+  using field_t = std::tuple_element_t<I, std::tuple<Fields...>>;
+
+  template <class P, class S, std::size_t... Is>
+  static void bind_ptrs(P& p, S& s, std::index_sequence<Is...>) {
+    (bind_one<Is>(p, s), ...);
+    if constexpr (kHasCold) p.cold = s.cold.data();
+  }
+  template <std::size_t I, class P, class S>
+  static void bind_one(P& p, S& s) {
+    if constexpr (field_t<I>::is_hot)
+      std::get<I>(p.cols) = std::get<I>(s.columns).data();
+  }
+
+  template <class R, class P, std::size_t... Is>
+  static R make_proxy(const P& p, std::size_t v, std::index_sequence<Is...>) {
+    return R{field_at<Is>(p, v)...};
+  }
+  template <std::size_t I, class P>
+  static decltype(auto) field_at(const P& p, std::size_t v) {
+    if constexpr (field_t<I>::is_hot)
+      return (std::get<I>(p.cols)[v]);
+    else
+      return (p.cold[v].*field_t<I>::member);
+  }
+
+  template <std::size_t... Is>
+  static void copy_hot_impl(const Ptrs& dst, const CPtrs& src, std::size_t v,
+                            std::index_sequence<Is...>) {
+    (copy_one<Is>(dst, src, v), ...);
+  }
+  template <std::size_t I>
+  static void copy_one(const Ptrs& dst, const CPtrs& src, std::size_t v) {
+    if constexpr (field_t<I>::is_hot)
+      std::get<I>(dst.cols)[v] = std::get<I>(src.cols)[v];
+  }
+
+  template <std::size_t... Is>
+  static void copy_range_impl(const Ptrs& dst, const CPtrs& src,
+                              std::size_t begin, std::size_t end,
+                              std::index_sequence<Is...>) {
+    (copy_range_one<Is>(dst, src, begin, end), ...);
+  }
+  template <std::size_t I>
+  static void copy_range_one(const Ptrs& dst, const CPtrs& src,
+                             std::size_t begin, std::size_t end) {
+    if constexpr (field_t<I>::is_hot) {
+      using Col = typename field_t<I>::column_type;
+      std::memcpy(std::get<I>(dst.cols) + begin,
+                  std::get<I>(src.cols) + begin,
+                  (end - begin) * sizeof(Col));
+    }
+  }
+
+  template <std::size_t... Is>
+  static void scatter_impl(const Ptrs& dst, std::size_t v, const State& s,
+                           std::index_sequence<Is...>) {
+    (scatter_one<Is>(dst, v, s), ...);
+  }
+  template <std::size_t I>
+  static void scatter_one(const Ptrs& dst, std::size_t v, const State& s) {
+    if constexpr (field_t<I>::is_hot)
+      std::get<I>(dst.cols)[v] =
+          static_cast<typename field_t<I>::column_type>(s.*field_t<I>::member);
+  }
+
+  template <std::size_t... Is>
+  static void gather_impl(State& out, const CPtrs& src, std::size_t v,
+                          std::index_sequence<Is...>) {
+    (gather_one<Is>(out, src, v), ...);
+  }
+  template <std::size_t... Is>
+  static void gather_all_impl(std::vector<State>& out, const CPtrs& src,
+                              std::size_t n, std::index_sequence<Is...>) {
+    (gather_all_one<Is>(out, src, n), ...);
+  }
+  template <std::size_t I>
+  static void gather_all_one(std::vector<State>& out, const CPtrs& src,
+                             std::size_t n) {
+    if constexpr (field_t<I>::is_hot) {
+      const auto* const col = std::get<I>(src.cols);
+      for (std::size_t v = 0; v < n; ++v)
+        out[v].*field_t<I>::member =
+            static_cast<typename field_t<I>::value_type>(col[v]);
+    }
+  }
+  template <std::size_t I>
+  static void gather_one(State& out, const CPtrs& src, std::size_t v) {
+    if constexpr (field_t<I>::is_hot)
+      out.*field_t<I>::member =
+          static_cast<typename field_t<I>::value_type>(
+              std::get<I>(src.cols)[v]);
+  }
+};
+
+/// Layout tag for the unpacked path: a pack with no storage and no-op
+/// operations. run_local instantiates ONE layout-generic engine body
+/// per layout; with NoStatePack every packed operation is compiled out
+/// behind `if constexpr`, leaving exactly the AoS engine.
+struct NoStatePack {
+  struct Store {
+    void resize(std::size_t) {}
+  };
+  struct Ptrs {};
+  struct CPtrs {};
+  static constexpr bool kHasCold = false;
+  static constexpr std::size_t kHotBytes = 0;
+  static Ptrs ptrs(Store&, int) { return {}; }
+  static CPtrs cptrs(const Store&, int) { return {}; }
+};
+
+/// Algorithms opting into the SoA layout: a nested StatePack descriptor
+/// whose State matches the algorithm's.
+template <class A>
+concept StatePacked = requires {
+  typename A::StatePack;
+  requires std::is_same_v<typename A::StatePack::State, typename A::State>;
+};
+
+}  // namespace valocal

@@ -67,7 +67,8 @@ TEST(Batch, MatchesSerialLoopForEveryThreadAndModeCombination) {
   const Graph g = gen::forest_union(300, 2, 99);
   const GossipAlgo algo;
   auto trial = [&](std::size_t i) {
-    return run_local(g, algo, {.seed = 100 + i});
+    return run_local(g, algo,
+                     {.seed = 100 + i, .want_final_states = true});
   };
 
   std::vector<GossipResult> reference(num_trials);
@@ -97,7 +98,8 @@ TEST(Batch, InheritsEngineThreadDefaultWhenUnset) {
   const Graph g = gen::forest_union(200, 2, 7);
   const GossipAlgo algo;
   auto trial = [&](std::size_t i) {
-    return run_local(g, algo, {.seed = 42 + i});
+    return run_local(g, algo,
+                     {.seed = 42 + i, .want_final_states = true});
   };
   std::vector<GossipResult> reference(4);
   for (std::size_t i = 0; i < 4; ++i) reference[i] = trial(i);
@@ -151,7 +153,8 @@ TEST(Batch, TracedRunRecordsDoNotInterleave) {
   for (std::size_t i = 0; i < num_trials; ++i)
     graphs.push_back(gen::forest_union(100 + 40 * i, 2, 17 + i));
   auto trial = [&](std::size_t i) {
-    return run_local(graphs[i], algo, {.seed = 500 + i});
+    return run_local(graphs[i], algo,
+                     {.seed = 500 + i, .want_final_states = true});
   };
 
   SemanticLog serial_log;
@@ -193,7 +196,8 @@ TEST(Batch, WorkspaceReuseAcrossGraphSizesIsByteIdentical) {
   for (std::size_t i = 0; i < std::size(sizes); ++i)
     graphs.push_back(gen::forest_union(sizes[i], 2, 31 + i));
   auto trial = [&](std::size_t i) {
-    return run_local(graphs[i], algo, {.seed = 900 + i});
+    return run_local(graphs[i], algo,
+                     {.seed = 900 + i, .want_final_states = true});
   };
 
   std::vector<GossipResult> reference(graphs.size());
@@ -220,7 +224,7 @@ TEST(Batch, EmptyAndSingleTrialEdgeCases) {
   const Graph g = gen::ring(32);
   const GossipAlgo algo;
   auto trial = [&](std::size_t i) {
-    return run_local(g, algo, {.seed = i});
+    return run_local(g, algo, {.seed = i, .want_final_states = true});
   };
   EXPECT_TRUE(run_batch(0, trial, {.num_threads = 4}).empty());
   const auto one = run_batch(1, trial, {.num_threads = 4});

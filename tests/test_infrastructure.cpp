@@ -133,7 +133,8 @@ struct CommitThenStop {
 
 TEST(Engine, CommitFreezesRoundsButKeepsRunning) {
   const Graph g = gen::path(2);
-  const auto result = run_local(g, CommitThenStop{});
+  const auto result =
+      run_local(g, CommitThenStop{}, {.want_final_states = true});
   EXPECT_EQ(result.metrics.rounds[0], 2u);      // frozen at commit
   EXPECT_EQ(result.metrics.rounds[1], 3u);
   EXPECT_EQ(result.outputs[0], 2);              // snapshot at commit...

@@ -138,8 +138,10 @@ struct CommitThenMutate {
 TEST(ParallelEngine, CommitFreezesOutputAndRoundStamp) {
   const Graph g = gen::ring(6);
   for (std::size_t threads : {1u, 4u}) {
-    const auto result = run_local(
-        g, CommitThenMutate{}, {.num_threads = threads, .grain = 1});
+    const auto result =
+        run_local(g, CommitThenMutate{},
+                  {.num_threads = threads, .grain = 1,
+                   .want_final_states = true});
     for (Vertex v = 0; v < 6; ++v) {
       EXPECT_EQ(result.outputs[v], 42) << "threads=" << threads;
       EXPECT_EQ(result.metrics.rounds[v], 1u) << "threads=" << threads;

@@ -152,6 +152,41 @@ TEST(Registry, EverySpecIsByteStableAcrossFrontierModes) {
   }
 }
 
+TEST(Registry, EverySpecIsByteStableAcrossStateLayouts) {
+  // The engine's state layout (per-field packed columns vs AoS struct
+  // buffers) is a memory-placement knob: every spec — whether or not
+  // its algorithm declares a StatePack — must produce the same labels,
+  // r(v), and decay series under both forced layouts and every thread
+  // count as under the forced-AoS reference. For packed specs this
+  // pins the SoA path byte-for-byte against the classic engine; for
+  // unpacked specs it pins that forcing kPacked is a silent no-op.
+  for (const AlgoSpec& spec : Registry::instance().all()) {
+    SCOPED_TRACE(spec.name);
+    const Graph g = compatible_graph(spec);
+    AlgoParams p = default_params();
+    p.seed = 41;
+    set_engine_state_layout(StateLayout::kAos);
+    const SolveOutcome ref = spec.run(g, p);
+    for (const StateLayout layout :
+         {StateLayout::kPacked, StateLayout::kAuto, StateLayout::kAos}) {
+      for (const std::size_t threads : {1u, 4u}) {
+        SCOPED_TRACE(std::string(state_layout_name(layout)) +
+                     " threads=" + std::to_string(threads));
+        set_engine_state_layout(layout);
+        set_engine_threads(threads);
+        const SolveOutcome o = spec.run(g, p);
+        EXPECT_EQ(o.labels, ref.labels);
+        EXPECT_EQ(o.metrics.rounds, ref.metrics.rounds);
+        EXPECT_EQ(o.metrics.active_per_round,
+                  ref.metrics.active_per_round);
+        EXPECT_EQ(o.summary, ref.summary);
+      }
+    }
+    set_engine_state_layout(StateLayout::kAuto);
+    set_engine_threads(1);
+  }
+}
+
 TEST(Registry, RandomizedSpecsArePureFunctionsOfTheSeed) {
   for (const AlgoSpec& spec : Registry::instance().all()) {
     if (spec.deterministic) continue;

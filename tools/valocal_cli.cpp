@@ -47,6 +47,9 @@
 //              per-round frontier representation instead of the
 //              measured auto switch (byte-identical results under
 //              every setting — see docs/MODEL.md)
+//   --layout   auto|packed|aos: pin run_local's state layout (SoA
+//              packed columns vs AoS struct buffers) for A/B runs
+//              (byte-identical results — see docs/MODEL.md)
 //   --batch-trials  run N independent trials (seeds seed..seed+N-1)
 //              through the trial batcher (sim/batch.hpp) and print the
 //              VA/WC distribution; with --threads T > 1 the trials run
@@ -273,7 +276,8 @@ int main(int argc, char** argv) {
                     "threads", "batch-trials", "timings-csv",
                     "rounds-csv", "histogram-csv", "phase-table",
                     "trace-json", "run-json", "sleep-hints",
-                    "frontier-mode", "list-algos", "validate"});
+                    "frontier-mode", "layout", "list-algos",
+                    "validate"});
   if (args.has("list-algos"))
     return list_algos(args.get_string("list-algos", ""));
 
@@ -289,6 +293,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     set_engine_frontier_mode(*mode);
+  }
+  if (args.has("layout")) {
+    const std::string layout_name = args.get_string("layout", "");
+    const auto layout = state_layout_from_name(layout_name);
+    if (!layout.has_value()) {
+      std::cerr << "unknown state layout: " << layout_name
+                << " (want auto|packed|aos)\n";
+      return 2;
+    }
+    set_engine_state_layout(*layout);
   }
 
   const std::string algo = args.get_string("algo", "a2logn");
