@@ -24,10 +24,12 @@ PRESET="${2:-release}"
 BUILD_DIR="build-${PRESET}"
 MICRO_JSON="$(mktemp /tmp/valocal_bench_micro.XXXXXX.json)"
 SCALING_JSON="$(mktemp /tmp/valocal_bench_scaling.XXXXXX.json)"
-trap 'rm -f "$MICRO_JSON" "$SCALING_JSON"' EXIT
+CROSSPAPER_JSON="$(mktemp /tmp/valocal_bench_crosspaper.XXXXXX.json)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$CROSSPAPER_JSON"' EXIT
 
 cmake --preset "$PRESET"
-cmake --build --preset "$PRESET" --target bench_micro bench_engine_scaling
+cmake --build --preset "$PRESET" \
+  --target bench_micro bench_engine_scaling bench_crosspaper
 
 "$BUILD_DIR"/bench/bench_micro \
   --benchmark_filter='BM_Engine' \
@@ -36,4 +38,9 @@ cmake --build --preset "$PRESET" --target bench_micro bench_engine_scaling
 
 VALOCAL_BENCH_JSON="$SCALING_JSON" "$BUILD_DIR"/bench/bench_engine_scaling
 
-python3 scripts/perf_snapshot.py append "$LABEL" "$MICRO_JSON" "$SCALING_JSON"
+# The cross-paper measure lab (2018 vs 2022 vs worst-case baselines):
+# its VA/EA/WC cells ride along in the snapshot's "crosspaper" section.
+VALOCAL_BENCH_JSON="$CROSSPAPER_JSON" "$BUILD_DIR"/bench/bench_crosspaper
+
+python3 scripts/perf_snapshot.py append "$LABEL" \
+  "$MICRO_JSON" "$SCALING_JSON" "$CROSSPAPER_JSON"

@@ -2,10 +2,15 @@
 """Maintain BENCH_engine.json, the engine's recorded perf trajectory.
 
 Subcommands:
-  append LABEL MICRO_JSON SCALING_JSON
+  append LABEL MICRO_JSON SCALING_JSON [CROSSPAPER_JSON]
       Append one snapshot built from a google-benchmark JSON dump of
       bench_micro and the VALOCAL_BENCH_JSON dump of
-      bench_engine_scaling. Snapshots are append-only history.
+      bench_engine_scaling. The optional fourth argument is the
+      VALOCAL_BENCH_JSON dump of bench_crosspaper (rows keyed
+      section/family/problem/algorithm/n/va/ea/wc/valid); when given,
+      the snapshot records it as its "crosspaper" section so the
+      2018-vs-2022-vs-worst-case measures travel with the perf
+      history. Snapshots are append-only history.
   check MICRO_JSON [THRESHOLD]
       Compare a fresh bench_micro dump's BM_Engine* round-throughput
       (items_per_second = stepped vertex-rounds per second) against the
@@ -74,11 +79,15 @@ def load_doc():
         return {"host": {}, "snapshots": []}
 
 
-def cmd_append(label, micro_path, scaling_path):
+def cmd_append(label, micro_path, scaling_path, crosspaper_path=None):
     with open(micro_path) as f:
         raw = json.load(f)
     with open(scaling_path) as f:
         scaling = json.load(f)
+    crosspaper = None
+    if crosspaper_path:
+        with open(crosspaper_path) as f:
+            crosspaper = json.load(f)
     doc = load_doc()
     ctx = raw.get("context", {})
     doc["host"] = {
@@ -89,12 +98,15 @@ def cmd_append(label, micro_path, scaling_path):
         # comparable within one compiler + optimization-flag set.
         "compiler": scaling.get("compiler"),
     }
-    doc.setdefault("snapshots", []).append({
+    snapshot = {
         "label": label,
         "date": datetime.date.today().isoformat(),
         "bench_micro": trim_micro(raw),
         "engine_scaling": scaling.get("rows", []),
-    })
+    }
+    if crosspaper is not None:
+        snapshot["crosspaper"] = crosspaper.get("rows", [])
+    doc.setdefault("snapshots", []).append(snapshot)
     with open(BENCH_FILE, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
@@ -198,7 +210,8 @@ def check_packed_vs_aos(fresh):
 
 def main():
     if len(sys.argv) >= 5 and sys.argv[1] == "append":
-        cmd_append(sys.argv[2], sys.argv[3], sys.argv[4])
+        crosspaper = sys.argv[5] if len(sys.argv) > 5 else None
+        cmd_append(sys.argv[2], sys.argv[3], sys.argv[4], crosspaper)
     elif len(sys.argv) >= 3 and sys.argv[1] == "check":
         threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.7
         cmd_check(sys.argv[2], threshold)

@@ -130,6 +130,22 @@ build/tools/valocal_cli --load-bin trace_output/rmat20.bin --algo luby \
 cmp trace_output/rmat20.bin trace_output/rmat20.roundtrip.bin
 echo "large-graph smoke: binary round-trip byte-identical"
 
+# Cross-paper smoke: the two BGKO'22 entries (node/edge-averaged
+# catalog rows) must solve and validate on a low-degree RMAT instance
+# (scale 14, edge factor 2 keeps the average degree ~4), and the CLI
+# metrics line must carry the edge-averaged measure the accounting
+# refactor introduced — grep guards the reporting plumbing end to end.
+for algo in bgko_mis bgko_matching; do
+  echo "--- cross-paper smoke: $algo ---"
+  build/tools/valocal_cli --graph rmat:14x2 --seed 7 --algo "$algo" \
+    --validate | tee "trace_output/crosspaper_$algo.txt"
+  grep -q 'edge-averaged=' "trace_output/crosspaper_$algo.txt" || {
+    echo "cross-paper smoke: $algo metrics line lacks edge-averaged"
+    exit 1
+  }
+done
+echo "cross-paper smoke: BGKO'22 entries validate with EA reported"
+
 # ThreadSanitizer job: rebuild the round engine's suites with
 # -DVALOCAL_SANITIZE=thread and run them (the parallel-engine tests use
 # num_threads up to 8 internally), racing-checking the engine before

@@ -1,0 +1,194 @@
+#include "algo/bgko22.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "validate/validate.hpp"
+#include "registry/spec_util.hpp"
+
+namespace valocal {
+
+bool BgkoMisAlgo::step(Vertex v, std::size_t round,
+                       const RoundView<State>& view, State& next,
+                       Xoshiro256& rng) const {
+  const auto& self = view.self();
+
+  if (round % 2 == 1) {
+    // Mark phase: mark w.p. 1/(2(d(v)+1)). The +1 keeps the draw
+    // well-defined for isolated vertices and matches the classical
+    // "lazy" marking rate.
+    const std::uint64_t denom =
+        2ull * (static_cast<std::uint64_t>(self.degree) + 1ull);
+    next.marked = rng() % denom == 0;
+    return false;
+  }
+
+  // Resolve phase. An MIS neighbor dominates immediately.
+  for (std::size_t i = 0; i < view.degree(); ++i)
+    if (view.neighbor_state(i).status == 1) {
+      next.status = -1;
+      next.marked = false;
+      return true;
+    }
+  // A marked vertex joins unless a marked active neighbor beats it in
+  // the (degree, id) order; with every neighbor already decided the
+  // vertex joins unconditionally (all of them must be dominated, or
+  // the loop above would have fired).
+  bool any_active = false;
+  bool best = self.marked;
+  for (std::size_t i = 0; i < view.degree(); ++i) {
+    const auto& nbr = view.neighbor_state(i);
+    if (nbr.status != 0) continue;
+    any_active = true;
+    if (!nbr.marked) continue;
+    const Vertex u = view.neighbor(i);
+    if (nbr.degree > self.degree ||
+        (nbr.degree == self.degree && u > v)) {
+      best = false;
+    }
+  }
+  if (!any_active || best) {
+    next.status = 1;
+    next.marked = false;
+    return true;
+  }
+  next.marked = false;
+  return false;
+}
+
+bool BgkoMatchingAlgo::step(Vertex v, std::size_t round,
+                            const RoundView<State>& view, State& next,
+                            Xoshiro256& rng) const {
+  const auto& self = view.self();
+
+  if (round % 2 == 1) {
+    // Propose phase: pick a uniformly random still-available neighbor;
+    // with none left, terminate unmatched (every neighbor is already
+    // matched or retired, so no edge at v can ever be added).
+    std::uint64_t avail = 0;
+    for (std::size_t i = 0; i < view.degree(); ++i)
+      if (view.neighbor_state(i).status == 0) ++avail;
+    if (avail == 0) {
+      next.status = -1;
+      next.proposal = kNoProposal;
+      return true;
+    }
+    std::uint64_t pick = rng() % avail;
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      if (view.neighbor_state(i).status != 0) continue;
+      if (pick == 0) {
+        next.proposal = view.neighbor(i);
+        break;
+      }
+      --pick;
+    }
+    return false;
+  }
+
+  // Resolve phase: a mutual proposal matches both endpoints (both see
+  // the symmetry in the same round, so they terminate together and the
+  // matching stays consistent).
+  if (self.proposal != kNoProposal) {
+    for (std::size_t i = 0; i < view.degree(); ++i) {
+      if (view.neighbor(i) != self.proposal) continue;
+      if (view.neighbor_state(i).proposal == v) {
+        next.partner = static_cast<std::int64_t>(self.proposal);
+        next.status = 1;
+        next.proposal = kNoProposal;
+        return true;
+      }
+    }
+  }
+  next.proposal = kNoProposal;
+  return false;
+}
+
+BgkoMisResult compute_bgko_mis(const Graph& g, std::uint64_t seed) {
+  VALOCAL_TRACE_PHASE("bgko_mis");
+  BgkoMisAlgo algo;
+  auto run = run_local(g, algo, {.seed = seed});
+
+  BgkoMisResult result;
+  result.in_set.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    VALOCAL_ENSURE(run.outputs[v] != 0, "bgko_mis left a vertex undecided");
+    result.in_set[v] = run.outputs[v] == 1;
+  }
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+BgkoMatchingResult compute_bgko_matching(const Graph& g,
+                                         std::uint64_t seed) {
+  VALOCAL_TRACE_PHASE("bgko_matching");
+  BgkoMatchingAlgo algo;
+  auto run = run_local(g, algo, {.seed = seed});
+
+  BgkoMatchingResult result;
+  result.in_matching.assign(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Vertex u = g.edge_u(e);
+    const Vertex w = g.edge_v(e);
+    result.in_matching[e] =
+        run.outputs[u] == static_cast<std::int64_t>(w) &&
+        run.outputs[w] == static_cast<std::int64_t>(u);
+  }
+  result.metrics = std::move(run.metrics);
+  return result;
+}
+
+
+VALOCAL_ALGO_SPEC(bgko_mis) {
+  using namespace registry;
+  AlgoSpec s = spec_base(
+      "bgko_mis", "BGKO'22 MIS (degree marking)", Problem::kMis,
+      /*deterministic=*/false, {Param::kSeed},
+      {{Measure::kVertexAveraged, "O(Delta), O(1) bnd-deg"},
+       {Measure::kEdgeAveraged, "O(Delta), O(1) bnd-deg"},
+       {Measure::kWorstCase, "O(Delta log n) w.h.p."}},
+      "BGKO'22 arXiv:2208.08213");
+  s.rows = {{.section = BenchSection::kCrossPaper,
+             .order = 2,
+             .row = "MIS",
+             .algo_label = "bgko_mis (BGKO'22, rand)",
+             .check = "XP MIS bgko"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const BgkoMisResult r = compute_bgko_mis(g, p.seed);
+    SolveOutcome o;
+    o.valid = is_mis(g, r.in_set);
+    o.labels = to_labels(r.in_set);
+    o.metrics = r.metrics;
+    o.summary = std::string("bgko_mis valid=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
+}
+
+VALOCAL_ALGO_SPEC(bgko_matching) {
+  using namespace registry;
+  AlgoSpec s = spec_base(
+      "bgko_matching", "BGKO'22 matching (mutual proposals)",
+      Problem::kMatching,
+      /*deterministic=*/false, {Param::kSeed},
+      {{Measure::kVertexAveraged, "O(Delta^2), O(1) bnd-deg"},
+       {Measure::kEdgeAveraged, "O(Delta^2), O(1) bnd-deg"},
+       {Measure::kWorstCase, "O(Delta^2 log n) w.h.p."}},
+      "BGKO'22 arXiv:2208.08213");
+  s.rows = {{.section = BenchSection::kCrossPaper,
+             .order = 5,
+             .row = "MM",
+             .algo_label = "bgko_matching (BGKO'22, rand)",
+             .check = "XP MM bgko"}};
+  s.run = [](const Graph& g, const AlgoParams& p) {
+    const BgkoMatchingResult r = compute_bgko_matching(g, p.seed);
+    SolveOutcome o;
+    o.valid = is_maximal_matching(g, r.in_matching);
+    o.labels = to_labels(r.in_matching);
+    o.metrics = r.metrics;
+    o.summary = std::string("bgko_matching maximal=") + yes_no(o.valid);
+    return o;
+  };
+  return s;
+}
+
+}  // namespace valocal

@@ -135,7 +135,9 @@ VALOCAL_ALGO_SPEC(a2) {
   AlgoSpec s = spec_base("a2", "a2", Problem::kVertexColoring,
                          /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O(loglog n)", "O(log n)", "Thm 7.6");
+                         {{Measure::kVertexAveraged, "O(loglog n)"},
+                          {Measure::kWorstCase, "O(log n)"}},
+                         "Thm 7.6");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 7,
              .row = "Thm7.6 O(a^2)",

@@ -57,8 +57,10 @@ VALOCAL_ALGO_SPEC(a2logn) {
   using namespace registry;
   AlgoSpec s = spec_base("a2logn", "a2logn", Problem::kVertexColoring,
                          /*deterministic=*/true,
-                         {Param::kArboricity, Param::kEpsilon}, "O(1)",
-                         "O(log n)", "Thm 7.2 / T1.4");
+                         {Param::kArboricity, Param::kEpsilon},
+                         {{Measure::kVertexAveraged, "O(1)"},
+                          {Measure::kWorstCase, "O(log n)"}},
+                         "Thm 7.2 / T1.4");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 3,
              .row = "T1.4 O(a^2 log n)",

@@ -173,7 +173,9 @@ VALOCAL_ALGO_SPEC(ka) {
   AlgoSpec s = spec_base(
       "ka", "ka", Problem::kVertexColoring, /*deterministic=*/true,
       {Param::kArboricity, Param::kEpsilon, Param::kK},
-      "O~(a log^(k) n)", "O(a log n)", "Sec 7.7 / T1.1-T1.2");
+      {{Measure::kVertexAveraged, "O~(a log^(k) n)"},
+       {Measure::kWorstCase, "O(a log n)"}},
+      "Sec 7.7 / T1.1-T1.2");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 0,
              .row = "T1.1 O(ka), k=2",

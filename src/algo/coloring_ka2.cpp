@@ -148,7 +148,9 @@ VALOCAL_ALGO_SPEC(ka2) {
   AlgoSpec s = spec_base(
       "ka2", "ka2", Problem::kVertexColoring, /*deterministic=*/true,
       {Param::kArboricity, Param::kEpsilon, Param::kK},
-      "O(log^(k) n + log* n)", "O(log n)", "Sec 7.6 / T1.5-T1.6");
+      {{Measure::kVertexAveraged, "O(log^(k) n + log* n)"},
+       {Measure::kWorstCase, "O(log n)"}},
+      "Sec 7.6 / T1.5-T1.6");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 4,
              .row = "T1.5 O(ka^2), k=2",

@@ -158,7 +158,9 @@ VALOCAL_ALGO_SPEC(oa) {
   AlgoSpec s = spec_base("oa", "oa", Problem::kVertexColoring,
                          /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O~(a loglog n)", "O(a log n)", "Thm 7.9");
+                         {{Measure::kVertexAveraged, "O~(a loglog n)"},
+                          {Measure::kWorstCase, "O(a log n)"}},
+                         "Thm 7.9");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 8,
              .row = "Thm7.9 O(a)",

@@ -65,7 +65,8 @@ VALOCAL_ALGO_SPEC(delta_plus1) {
   AlgoSpec s = spec_base("delta_plus1", "delta_plus1",
                          Problem::kVertexColoring, /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O(a log a + log* n)", "O(log n)",
+                         {{Measure::kVertexAveraged, "O(a log a + log* n)"},
+                          {Measure::kWorstCase, "O(log n)"}},
                          "Cor 8.3 / T1.7");
   s.rows = {{.section = BenchSection::kTable1Star,
              .order = 0,

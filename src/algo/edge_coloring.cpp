@@ -239,7 +239,8 @@ VALOCAL_ALGO_SPEC(edge_coloring) {
   AlgoSpec s = spec_base("edge_coloring", "edge coloring",
                          Problem::kEdgeColoring, /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O~(a + log* n)", "O(a log n)",
+                         {{Measure::kVertexAveraged, "O~(a + log* n)"},
+                          {Measure::kWorstCase, "O(a log n)"}},
                          "Cor 8.6 / T2.2");
   s.rows = {{.section = BenchSection::kTable2Adversarial,
              .order = 2,

@@ -66,8 +66,10 @@ VALOCAL_ALGO_SPEC(forest_decomp) {
   AlgoSpec s = spec_base("forest_decomp", "forests",
                          Problem::kForestDecomposition,
                          /*deterministic=*/true,
-                         {Param::kArboricity, Param::kEpsilon}, "O(1)",
-                         "O(log n)", "Thm 7.1");
+                         {Param::kArboricity, Param::kEpsilon},
+                         {{Measure::kVertexAveraged, "O(1)"},
+                          {Measure::kWorstCase, "O(log n)"}},
+                         "Thm 7.1");
   s.run = [](const Graph& g, const AlgoParams& p) {
     const ForestDecompositionResult r =
         compute_forest_decomposition(g, p.partition());

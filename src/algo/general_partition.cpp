@@ -64,7 +64,9 @@ VALOCAL_ALGO_SPEC(general_partition) {
   using namespace registry;
   AlgoSpec s = spec_base("general_partition", "general partition",
                          Problem::kHPartition, /*deterministic=*/true,
-                         {Param::kEpsilon}, "O(1)", "O(log n log a)",
+                         {Param::kEpsilon},
+                         {{Measure::kVertexAveraged, "O(1)"},
+                          {Measure::kWorstCase, "O(log n log a)"}},
                          "Sec 6.1 / [8]");
   s.run = [](const Graph& g, const AlgoParams& p) {
     const GeneralPartitionResult r = compute_general_partition(g, p.epsilon);

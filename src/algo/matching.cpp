@@ -49,7 +49,8 @@ VALOCAL_ALGO_SPEC(matching) {
   AlgoSpec s = spec_base("matching", "matching", Problem::kMatching,
                          /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O~(a + log* n)", "O(a log n)",
+                         {{Measure::kVertexAveraged, "O~(a + log* n)"},
+                          {Measure::kWorstCase, "O(a log n)"}},
                          "Cor 8.8 / T2.3");
   s.rows = {{.section = BenchSection::kTable2Adversarial,
              .order = 3,
@@ -58,7 +59,12 @@ VALOCAL_ALGO_SPEC(matching) {
              .check = "T2.3 MM"},
             {.section = BenchSection::kTable2Families,
              .order = 2,
-             .row = "MM"}};
+             .row = "MM"},
+            {.section = BenchSection::kCrossPaper,
+             .order = 3,
+             .row = "MM",
+             .algo_label = "matching (SPAA'18, det)",
+             .check = "XP MM 2018"}};
   s.run = [](const Graph& g, const AlgoParams& p) {
     const MatchingResult r = compute_matching(g, p.partition());
     SolveOutcome o;

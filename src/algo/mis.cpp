@@ -37,7 +37,8 @@ VALOCAL_ALGO_SPEC(mis) {
   AlgoSpec s = spec_base("mis", "MIS", Problem::kMis,
                          /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "O~(a + log* n)", "O(a log n)",
+                         {{Measure::kVertexAveraged, "O~(a + log* n)"},
+                          {Measure::kWorstCase, "O(a log n)"}},
                          "Cor 8.4 / T2.1");
   s.rows = {{.section = BenchSection::kTable2Adversarial,
              .order = 0,
@@ -46,7 +47,12 @@ VALOCAL_ALGO_SPEC(mis) {
              .check = "T2.1 MIS"},
             {.section = BenchSection::kTable2Families,
              .order = 0,
-             .row = "MIS"}};
+             .row = "MIS"},
+            {.section = BenchSection::kCrossPaper,
+             .order = 0,
+             .row = "MIS",
+             .algo_label = "mis (SPAA'18, det)",
+             .check = "XP MIS 2018"}};
   s.run = [](const Graph& g, const AlgoParams& p) {
     const MisResult r = compute_mis(g, p.partition());
     SolveOutcome o;

@@ -26,8 +26,10 @@ VALOCAL_ALGO_SPEC(partition) {
   using namespace registry;
   AlgoSpec s = spec_base("partition", "partition", Problem::kHPartition,
                          /*deterministic=*/true,
-                         {Param::kArboricity, Param::kEpsilon}, "O(1)",
-                         "Theta(log n)", "Thm 6.3");
+                         {Param::kArboricity, Param::kEpsilon},
+                         {{Measure::kVertexAveraged, "O(1)"},
+                          {Measure::kWorstCase, "Theta(log n)"}},
+                         "Thm 6.3");
   s.run = [](const Graph& g, const AlgoParams& p) {
     const HPartitionResult r = compute_h_partition(g, p.partition());
     SolveOutcome o;

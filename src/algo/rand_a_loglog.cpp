@@ -119,7 +119,9 @@ VALOCAL_ALGO_SPEC(rand_a_loglog) {
       "rand_a_loglog", "rand_a_loglog", Problem::kVertexColoring,
       /*deterministic=*/false,
       {Param::kArboricity, Param::kEpsilon, Param::kSeed},
-      "O(1) w.h.p.", "O(log n) w.h.p.", "Thm 9.2 / T1.9");
+      {{Measure::kVertexAveraged, "O(1) w.h.p."},
+       {Measure::kWorstCase, "O(log n) w.h.p."}},
+      "Thm 9.2 / T1.9");
   s.rows = {{.section = BenchSection::kTable1Rand,
              .order = 1,
              .row = "T1.9 O(a loglog n) rand",

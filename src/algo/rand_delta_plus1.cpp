@@ -66,7 +66,8 @@ VALOCAL_ALGO_SPEC(rand_delta_plus1) {
   AlgoSpec s = spec_base("rand_delta_plus1", "rand_delta_plus1",
                          Problem::kVertexColoring,
                          /*deterministic=*/false, {Param::kSeed},
-                         "O(1) w.h.p.", "O(log n) w.h.p.",
+                         {{Measure::kVertexAveraged, "O(1) w.h.p."},
+                          {Measure::kWorstCase, "O(log n) w.h.p."}},
                          "Thm 9.1 / T1.8");
   s.rows = {{.section = BenchSection::kTable1Rand,
              .order = 0,

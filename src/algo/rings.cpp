@@ -128,9 +128,10 @@ ColoringResult compute_ring_3coloring(const Graph& ring) {
 VALOCAL_ALGO_SPEC(leader) {
   using namespace registry;
   AlgoSpec s = spec_base("leader", "leader", Problem::kLeaderElection,
-                         /*deterministic=*/true, {}, "O(log n)",
-                         "Theta(n)", "[12] Sec 2-3",
-                         GraphFamily::kRing);
+                         /*deterministic=*/true, {},
+                         {{Measure::kVertexAveraged, "O(log n)"},
+                          {Measure::kWorstCase, "Theta(n)"}},
+                         "[12] Sec 2-3", GraphFamily::kRing);
   s.run = [](const Graph& g, const AlgoParams&) {
     const LeaderElectionResult r = compute_ring_leader_election(g);
     SolveOutcome o;
@@ -150,9 +151,10 @@ VALOCAL_ALGO_SPEC(leader) {
 VALOCAL_ALGO_SPEC(ring3) {
   using namespace registry;
   AlgoSpec s = spec_base("ring3", "ring3", Problem::kVertexColoring,
-                         /*deterministic=*/true, {}, "Theta(log* n)",
-                         "Theta(log* n)", "[12] Sec 2-3",
-                         GraphFamily::kRing);
+                         /*deterministic=*/true, {},
+                         {{Measure::kVertexAveraged, "Theta(log* n)"},
+                          {Measure::kWorstCase, "Theta(log* n)"}},
+                         "[12] Sec 2-3", GraphFamily::kRing);
   s.run = [](const Graph& g, const AlgoParams&) {
     return coloring_outcome(g, "ring3", compute_ring_3coloring(g));
   };

@@ -110,7 +110,9 @@ VALOCAL_ALGO_SPEC(be08) {
   AlgoSpec s = spec_base("be08", "be08 (run to completion)",
                          Problem::kVertexColoring, /*deterministic=*/true,
                          {Param::kArboricity, Param::kEpsilon},
-                         "= WC (run to completion)", "O(a log n)",
+                         {{Measure::kVertexAveraged,
+                           "= WC (run to completion)"},
+                          {Measure::kWorstCase, "O(a log n)"}},
                          "[8] baseline / T1 row 6");
   s.rows = {{.section = BenchSection::kTable1Adversarial,
              .order = 9,

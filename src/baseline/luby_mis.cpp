@@ -66,13 +66,19 @@ VALOCAL_ALGO_SPEC(luby) {
   using namespace registry;
   AlgoSpec s = spec_base("luby", "Luby MIS", Problem::kMis,
                          /*deterministic=*/false, {Param::kSeed},
-                         "O(log n) w.h.p.", "O(log n) w.h.p.",
+                         {{Measure::kVertexAveraged, "O(log n) w.h.p."},
+                          {Measure::kWorstCase, "O(log n) w.h.p."}},
                          "Luby baseline / T2.1");
   s.rows = {{.section = BenchSection::kTable2Adversarial,
              .order = 1,
              .row = "T2.1 MIS",
              .algo_label = "luby (baseline, rand O(log n))",
-             .check = "T2.1 Luby"}};
+             .check = "T2.1 Luby"},
+            {.section = BenchSection::kCrossPaper,
+             .order = 1,
+             .row = "MIS",
+             .algo_label = "luby (priority baseline, rand)",
+             .check = "XP MIS luby"}};
   s.run = [](const Graph& g, const AlgoParams& p) {
     const LubyMisResult r = compute_luby_mis(g, p.seed);
     SolveOutcome o;

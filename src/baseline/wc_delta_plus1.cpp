@@ -24,8 +24,12 @@ VALOCAL_ALGO_SPEC(wc_delta) {
   using namespace registry;
   AlgoSpec s = spec_base("wc_delta", "wc_delta_plus1 (run to completion)",
                          Problem::kVertexColoring, /*deterministic=*/true,
-                         {}, "= WC (run to completion)",
-                         "O(Delta log Delta + log* n)", "T1.7 baseline");
+                         {},
+                         {{Measure::kVertexAveraged,
+                           "= WC (run to completion)"},
+                          {Measure::kWorstCase,
+                           "O(Delta log Delta + log* n)"}},
+                         "T1.7 baseline");
   s.rows = {{.section = BenchSection::kTable1Star,
              .order = 1,
              .row = "T1.7 baseline",

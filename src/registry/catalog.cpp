@@ -26,6 +26,8 @@ VALOCAL_ALGO_SPEC(matching);
 VALOCAL_ALGO_SPEC(rand_delta_plus1);
 VALOCAL_ALGO_SPEC(rand_a_loglog);
 VALOCAL_ALGO_SPEC(luby);
+VALOCAL_ALGO_SPEC(bgko_mis);
+VALOCAL_ALGO_SPEC(bgko_matching);
 VALOCAL_ALGO_SPEC(be08);
 VALOCAL_ALGO_SPEC(wc_delta);
 VALOCAL_ALGO_SPEC(wc_edge);
@@ -53,6 +55,8 @@ const Registry& Registry::instance() {
       registry_spec_rand_delta_plus1(),
       registry_spec_rand_a_loglog(),
       registry_spec_luby(),
+      registry_spec_bgko_mis(),
+      registry_spec_bgko_matching(),
       registry_spec_be08(),
       registry_spec_wc_delta(),
       registry_spec_wc_edge(),

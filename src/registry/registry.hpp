@@ -12,8 +12,9 @@
 //   - schema: which AlgoParams fields the algorithm reads, so
 //     `--list-algos` and the generated docs table never drift from
 //     the dispatch;
-//   - the paper's claims: expected vertex-averaged and worst-case
-//     bounds plus the theorem / table-row reference;
+//   - the papers' claims: structured per-measure bounds
+//     (vertex-averaged, edge-averaged, worst-case — see Bound) plus
+//     the theorem / table-row reference;
 //   - bench plans: the Table 1 / Table 2 / randomized-tails rows this
 //     algorithm contributes, with their exact row labels and
 //     parameter overrides (k, seed bases), so the bench binaries
@@ -119,6 +120,7 @@ enum class BenchSection : std::uint8_t {
   kTable2Adversarial,  // Table 2, (A+1)-ary tree
   kTable2Families,     // Table 2, forest- and star-union blocks
   kRandTails,          // Theorem 9.1/9.2 w.h.p. seed sweeps
+  kCrossPaper,         // 2018 vs BGKO'22 vs worst-case, shared families
 };
 
 struct BenchRow {
@@ -134,6 +136,17 @@ struct BenchRow {
   bool small_sizes_only = false;  // run-to-completion baselines
 };
 
+/// One claimed complexity bound, keyed by the measure it bounds
+/// (sim/metrics.hpp's Measure): specs declare a vector of these
+/// instead of a fixed vertex-averaged/worst-case string pair, so
+/// edge-averaged claims (BGKO'22) are first-class and catalog
+/// printing, validation, and bench row plans select by measure.
+struct Bound {
+  Measure measure = Measure::kVertexAveraged;
+  std::string expr;       // e.g. "O~(a + log* n)"
+  std::string paper_ref;  // per-bound citation; empty = the spec's
+};
+
 struct AlgoSpec {
   std::string name;     // unique CLI name (--algo <name>)
   std::string display;  // report prefix, e.g. "be08 (run to completion)"
@@ -141,11 +154,22 @@ struct AlgoSpec {
   bool deterministic = true;
   GraphFamily family = GraphFamily::kAny;
   std::vector<Param> params;  // AlgoParams fields the factory reads
-  std::string va_bound;       // claimed vertex-averaged complexity
-  std::string wc_bound;       // claimed worst-case complexity
+  std::vector<Bound> bounds;  // claimed complexities, one per measure
   std::string paper_ref;      // theorem / table row in the paper
   std::vector<BenchRow> rows;
   std::function<SolveOutcome(const Graph&, const AlgoParams&)> run;
+
+  /// First declared bound for `m`, or nullptr if the spec claims none.
+  const Bound* bound_for(Measure m) const {
+    for (const Bound& b : bounds)
+      if (b.measure == m) return &b;
+    return nullptr;
+  }
+  /// Convenience for table cells: the bound's expr, or "-".
+  std::string bound_expr(Measure m) const {
+    const Bound* b = bound_for(m);
+    return b != nullptr ? b->expr : std::string("-");
+  }
 };
 
 /// A bench row joined with the spec that owns it.

@@ -45,11 +45,13 @@ inline SolveOutcome coloring_outcome(const Graph& g,
 }
 
 /// Fills every descriptive field of a spec; the caller adds bench rows
-/// and the factory.
+/// and the factory. `bounds` carries the claimed complexities, one per
+/// measure ({measure, expr[, per-bound paper_ref]}); a bound with an
+/// empty paper_ref inherits the spec-level `paper_ref`.
 inline AlgoSpec spec_base(std::string name, std::string display,
                           Problem problem, bool deterministic,
-                          std::vector<Param> params, std::string va_bound,
-                          std::string wc_bound, std::string paper_ref,
+                          std::vector<Param> params,
+                          std::vector<Bound> bounds, std::string paper_ref,
                           GraphFamily family = GraphFamily::kAny) {
   AlgoSpec s;
   s.name = std::move(name);
@@ -58,8 +60,7 @@ inline AlgoSpec spec_base(std::string name, std::string display,
   s.deterministic = deterministic;
   s.family = family;
   s.params = std::move(params);
-  s.va_bound = std::move(va_bound);
-  s.wc_bound = std::move(wc_bound);
+  s.bounds = std::move(bounds);
   s.paper_ref = std::move(paper_ref);
   return s;
 }

@@ -270,11 +270,17 @@ MailboxRunResult<A> run_mailbox(const Graph& g, const A& algo,
     }
   }
 
+  // Same one-pass measure rollup as run_local: O(1) accessors plus
+  // the edge-decay sequence, derived only from `rounds` + the graph.
+  result.metrics.finalize(g);
+
   if (sink != nullptr) {
     trace::RunEndEvent end;
     end.rounds = result.metrics.active_per_round.size();
     end.round_sum = result.metrics.round_sum();
     end.worst_case = result.metrics.worst_case();
+    end.edge_round_sum = result.metrics.edge_round_sum();
+    end.num_edges = g.num_edges();
     end.wall_ns = result.metrics.total_wall_ns();
     end.messages = result.messages_sent;
     sink->on_run_end(end);

@@ -33,13 +33,33 @@ void write_rounds_histogram_csv(std::ostream& os,
 }
 
 void write_round_timings_csv(std::ostream& os, const Metrics& metrics) {
-  os << "round,active,wall_ns\n";
+  os << "round,active,awake,wall_ns\n";
   for (std::size_t i = 0; i < metrics.active_per_round.size(); ++i) {
+    const std::size_t active = metrics.active_per_round[i];
+    const std::size_t parked = i < metrics.parked_per_round.size()
+                                   ? metrics.parked_per_round[i]
+                                   : 0;
     const std::uint64_t ns =
         i < metrics.round_wall_ns.size() ? metrics.round_wall_ns[i] : 0;
-    os << i + 1 << ',' << metrics.active_per_round[i] << ',' << ns
-       << '\n';
+    os << i + 1 << ',' << active << ','
+       << (active >= parked ? active - parked : 0) << ',' << ns << '\n';
   }
+}
+
+void write_edge_decay_csv(std::ostream& os, const Metrics& metrics) {
+  os << "round,active_edges\n";
+  for (std::size_t i = 0; i < metrics.edge_active_per_round.size(); ++i)
+    os << i + 1 << ',' << metrics.edge_active_per_round[i] << '\n';
+}
+
+void write_measures_csv(std::ostream& os, const Metrics& metrics) {
+  os << "measure,value\n";
+  os << "round_sum," << metrics.round_sum() << '\n';
+  os << "vertex_averaged," << metrics.vertex_averaged() << '\n';
+  os << "edge_round_sum," << metrics.edge_round_sum() << '\n';
+  os << "edge_averaged," << metrics.edge_averaged() << '\n';
+  os << "worst_case," << metrics.worst_case() << '\n';
+  os << "awake_sum," << metrics.awake_sum() << '\n';
 }
 
 }  // namespace valocal

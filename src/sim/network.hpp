@@ -902,6 +902,7 @@ RunResult<A> run_local_impl(const Graph& g, const A& algo,
     }
     result.metrics.active_per_round.push_back(awake_count + asleep);
     result.metrics.skipped_steps += asleep;
+    if (parking) result.metrics.parked_per_round.push_back(asleep);
 
     // Representation decision: forced modes pin it; kAuto compares the
     // maintained awake count against the dense threshold. Counted as a
@@ -1216,12 +1217,19 @@ RunResult<A> run_local_impl(const Graph& g, const A& algo,
     }
   }
   result.metrics.frontier_switches = switches;
+  // One-pass measure rollup (vertex-avg / edge-avg / worst-case /
+  // awake): makes the Metrics accessors O(1) and fills the edge-decay
+  // sequence. Purely derived from `rounds` + the graph, so it shares
+  // the byte-identity contract.
+  result.metrics.finalize(g);
 
   if (sink != nullptr) {
     trace::RunEndEvent end;
     end.rounds = result.metrics.active_per_round.size();
     end.round_sum = result.metrics.round_sum();
     end.worst_case = result.metrics.worst_case();
+    end.edge_round_sum = result.metrics.edge_round_sum();
+    end.num_edges = g.num_edges();
     end.wall_ns = result.metrics.total_wall_ns();
     end.skipped_steps = result.metrics.skipped_steps;
     end.frontier_switches = switches;

@@ -141,6 +141,7 @@ void TraceCollector::on_run_end(const RunEndEvent& event) {
   RunRecord& run = runs_.back();
   run.round_sum = event.round_sum;
   run.worst_case = event.worst_case;
+  run.edge_round_sum = event.edge_round_sum;
   run.wall_ns = event.wall_ns;
   run.messages = event.messages;
   run.skipped_steps = event.skipped_steps;
@@ -315,6 +316,16 @@ void TraceCollector::write_run_records_jsonl(std::ostream& os,
        << ",\"worst_case\":" << run.worst_case
        << ",\"volume_bytes\":" << volume
        << ",\"messages\":" << run.messages;
+    // Edge-averaged totals (BGKO'22 max-endpoint convention): emitted
+    // only when the producer actually summarized edge costs, so
+    // hand-built records keep their historical byte layout.
+    if (run.edge_round_sum > 0)
+      os << ",\"edge_round_sum\":" << run.edge_round_sum
+         << ",\"edge_avg\":"
+         << json_num(run.num_edges > 0
+                         ? static_cast<double>(run.edge_round_sum) /
+                               static_cast<double>(run.num_edges)
+                         : 0.0);
     // Emitted only when wake scheduling actually skipped work, so
     // hints-off records keep their exact historical byte layout; same
     // conditional idiom for frontier switches (0 under forced modes

@@ -66,6 +66,7 @@ struct RunRecord {
   // Totals from RunEndEvent.
   std::uint64_t round_sum = 0;
   std::size_t worst_case = 0;
+  std::uint64_t edge_round_sum = 0;  // sum_e max(r(u), r(v)); 0 pre-summary
   std::uint64_t wall_ns = 0;
   std::uint64_t messages = 0;
   std::uint64_t skipped_steps = 0;  // wake-scheduling savings (0 hints-off)

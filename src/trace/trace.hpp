@@ -120,6 +120,11 @@ struct RunEndEvent {
   std::size_t rounds = 0;         // engine rounds executed
   std::uint64_t round_sum = 0;    // sum_v r(v)
   std::size_t worst_case = 0;     // max_v r(v)
+  /// BGKO'22 edge accounting: sum_e max(r(u), r(v)) and the edge
+  /// count it averages over. Both 0 when the producer predates the
+  /// measure-generic summary (hand-built events in tests).
+  std::uint64_t edge_round_sum = 0;
+  std::size_t num_edges = 0;
   std::uint64_t wall_ns = 0;      // NOT semantic
   /// Total messages including init-round pre-sends (mailbox engine).
   std::uint64_t messages = 0;

@@ -4,8 +4,10 @@
 
 #include <sstream>
 
+#include "algo/coloring_ka2.hpp"
 #include "algo/partition.hpp"
 #include "graph/generators.hpp"
+#include "sim/network.hpp"
 
 namespace valocal {
 namespace {
@@ -42,17 +44,85 @@ TEST(MetricsIo, HistogramKeepsBucketZero) {
 TEST(MetricsIo, RoundTimingsCsv) {
   Metrics m;
   m.active_per_round = {4, 2};
+  m.parked_per_round = {1, 0};
   m.round_wall_ns = {100, 50};
   std::ostringstream os;
   write_round_timings_csv(os, m);
-  EXPECT_EQ(os.str(), "round,active,wall_ns\n1,4,100\n2,2,50\n");
-  // Hand-built metrics without timing data degrade to zeros rather
-  // than misaligning rows.
+  EXPECT_EQ(os.str(),
+            "round,active,awake,wall_ns\n1,4,3,100\n2,2,2,50\n");
+  // Hand-built metrics without timing or parking data degrade to
+  // zeros / awake == active rather than misaligning rows.
   Metrics untimed;
   untimed.active_per_round = {3};
   std::ostringstream os2;
   write_round_timings_csv(os2, untimed);
-  EXPECT_EQ(os2.str(), "round,active,wall_ns\n1,3,0\n");
+  EXPECT_EQ(os2.str(), "round,active,awake,wall_ns\n1,3,3,0\n");
+}
+
+// Golden-file check for the awake column on a REAL wake-scheduled run:
+// the parked counts must line up with active_per_round and sum to
+// skipped_steps, so awake = active - parked is exact per round.
+TEST(MetricsIo, RoundTimingsAwakeColumnMatchesEngine) {
+  const Graph g = gen::forest_union(800, 2, 13);
+  const PartitionParams params{.arboricity = 2, .epsilon = 1.0};
+  const ColoringKa2Algo algo(g.num_vertices(), params, 2);
+  const auto run =
+      run_local(g, algo, {.sleep_hints = SleepHints::kOn});
+  const Metrics& m = run.metrics;
+  ASSERT_GT(m.skipped_steps, 0u) << "fixture parked nothing";
+  ASSERT_EQ(m.parked_per_round.size(), m.active_per_round.size());
+  std::uint64_t parked_total = 0;
+  for (auto p : m.parked_per_round) parked_total += p;
+  EXPECT_EQ(parked_total, m.skipped_steps);
+  std::ostringstream os;
+  write_round_timings_csv(os, m);
+  // Re-derive the expected bytes from the decay + parked series.
+  std::ostringstream want;
+  want << "round,active,awake,wall_ns\n";
+  for (std::size_t i = 0; i < m.active_per_round.size(); ++i)
+    want << i + 1 << ',' << m.active_per_round[i] << ','
+         << m.active_per_round[i] - m.parked_per_round[i] << ','
+         << m.round_wall_ns[i] << '\n';
+  EXPECT_EQ(os.str(), want.str());
+}
+
+TEST(MetricsIo, EdgeDecayAndMeasuresCsv) {
+  // Path on 3 vertices: edges {0,1}, {1,2}; r = (1, 3, 2) gives edge
+  // costs max(1,3) = 3 and max(3,2) = 3.
+  const Graph g(3, {{0, 1}, {1, 2}});
+  Metrics m;
+  m.rounds = {1, 3, 2};
+  m.active_per_round = {3, 2, 1};
+  m.finalize(g);
+  EXPECT_EQ(m.round_sum(), 6u);
+  EXPECT_EQ(m.worst_case(), 3u);
+  EXPECT_EQ(m.edge_round_sum(), 6u);
+  EXPECT_DOUBLE_EQ(m.edge_averaged(), 3.0);
+  EXPECT_EQ(m.awake_sum(), 6u);
+  std::ostringstream decay;
+  write_edge_decay_csv(decay, m);
+  EXPECT_EQ(decay.str(), "round,active_edges\n1,2\n2,2\n3,2\n");
+  std::ostringstream measures;
+  write_measures_csv(measures, m);
+  EXPECT_EQ(measures.str(),
+            "measure,value\nround_sum,6\nvertex_averaged,2\n"
+            "edge_round_sum,6\nedge_averaged,3\nworst_case,3\n"
+            "awake_sum,6\n");
+}
+
+// The one-pass summary must report exactly what the legacy per-call
+// scans reported — byte-identical accounting, just O(1).
+TEST(MetricsIo, FinalizedAccessorsMatchLegacyScans) {
+  const Graph g = gen::forest_union(200, 2, 191);
+  const auto result = compute_h_partition(g, {.arboricity = 2});
+  ASSERT_TRUE(result.metrics.summary_valid);
+  Metrics legacy = result.metrics;
+  legacy.summary_valid = false;  // force the scan paths
+  EXPECT_EQ(result.metrics.round_sum(), legacy.round_sum());
+  EXPECT_EQ(result.metrics.worst_case(), legacy.worst_case());
+  EXPECT_DOUBLE_EQ(result.metrics.vertex_averaged(),
+                   legacy.vertex_averaged());
+  EXPECT_EQ(result.metrics.awake_sum(), legacy.awake_sum());
 }
 
 TEST(MetricsIo, RealExecutionRoundTrips) {

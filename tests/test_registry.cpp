@@ -18,6 +18,7 @@ namespace {
 
 using registry::AlgoParams;
 using registry::AlgoSpec;
+using registry::Bound;
 using registry::GraphFamily;
 using registry::Registry;
 using registry::SolveOutcome;
@@ -47,8 +48,27 @@ TEST(Registry, CatalogIsCompleteAndUnique) {
     EXPECT_EQ(&reg.at(name), s);
     EXPECT_TRUE(s->run != nullptr) << name;
     EXPECT_FALSE(s->display.empty()) << name;
-    EXPECT_FALSE(s->va_bound.empty()) << name;
-    EXPECT_FALSE(s->wc_bound.empty()) << name;
+    // Structured bounds: every spec claims at least one measure-tagged
+    // bound, every declared bound carries a valid measure tag and a
+    // non-empty expression, and no measure is claimed twice.
+    EXPECT_FALSE(s->bounds.empty()) << name;
+    std::set<Measure> seen_measures;
+    for (const Bound& b : s->bounds) {
+      EXPECT_TRUE(b.measure == Measure::kVertexAveraged ||
+                  b.measure == Measure::kEdgeAveraged ||
+                  b.measure == Measure::kWorstCase ||
+                  b.measure == Measure::kAwake)
+          << name << ": invalid measure tag";
+      EXPECT_STRNE(measure_name(b.measure), "?") << name;
+      EXPECT_STRNE(measure_tag(b.measure), "?") << name;
+      EXPECT_FALSE(b.expr.empty()) << name;
+      EXPECT_TRUE(seen_measures.insert(b.measure).second)
+          << name << ": duplicate bound for " << measure_name(b.measure);
+    }
+    // The 2018 catalog convention: every entry claims at least its
+    // vertex-averaged and worst-case complexity.
+    EXPECT_NE(s->bound_for(Measure::kVertexAveraged), nullptr) << name;
+    EXPECT_NE(s->bound_for(Measure::kWorstCase), nullptr) << name;
   }
   // Names the CLI has always accepted must stay reachable.
   for (const char* name :
@@ -91,8 +111,9 @@ TEST(Registry, EverySpecSolvesAndValidatesOnASmallGraph) {
     // vertex problems must be per-vertex — that is the --dot contract.
     EXPECT_FALSE(o.labels.empty());
     if (spec.problem == registry::Problem::kVertexColoring ||
-        spec.problem == registry::Problem::kMis)
+        spec.problem == registry::Problem::kMis) {
       EXPECT_EQ(o.labels.size(), g.num_vertices());
+    }
     EXPECT_EQ(o.metrics.rounds.size(), g.num_vertices());
   }
 }
@@ -182,6 +203,57 @@ TEST(Registry, EverySpecIsByteStableAcrossStateLayouts) {
         EXPECT_EQ(o.summary, ref.summary);
       }
     }
+    set_engine_state_layout(StateLayout::kAuto);
+    set_engine_threads(1);
+  }
+}
+
+TEST(Registry, Bgko22EntriesHoldEdgeMeasuresByteStableAcrossEngines) {
+  // The BGKO'22 entries are the catalog's edge-averaged flagship: the
+  // whole point of their rows is the EA column, so the edge-cost
+  // rollup (edge_round_sum, the m_i decay series, and the derived
+  // average) must be byte-stable across every engine configuration —
+  // threads 1/4, all four frontier modes, packed/AoS layouts — on a
+  // bounded-degree graph large enough that the randomized schedules
+  // have nontrivial tails.
+  const Graph g = gen::torus(24, 24);
+  for (const char* name : {"bgko_mis", "bgko_matching"}) {
+    SCOPED_TRACE(name);
+    const AlgoSpec* spec = Registry::instance().find(name);
+    ASSERT_NE(spec, nullptr);
+    AlgoParams p = default_params();
+    p.seed = 97;
+    const SolveOutcome ref = spec->run(g, p);
+    ASSERT_TRUE(ref.valid) << ref.summary;
+    EXPECT_GT(ref.metrics.edge_round_sum(), 0u);
+    EXPECT_GT(ref.metrics.edge_averaged(), 0.0);
+    EXPECT_FALSE(ref.metrics.edge_active_per_round.empty());
+    for (const FrontierMode mode :
+         {FrontierMode::kAuto, FrontierMode::kDense, FrontierMode::kSparse,
+          FrontierMode::kCalendar}) {
+      for (const StateLayout layout :
+           {StateLayout::kPacked, StateLayout::kAos}) {
+        for (const std::size_t threads : {1u, 4u}) {
+          SCOPED_TRACE(std::string(frontier_mode_name(mode)) + "/" +
+                       state_layout_name(layout) +
+                       " threads=" + std::to_string(threads));
+          set_engine_frontier_mode(mode);
+          set_engine_state_layout(layout);
+          set_engine_threads(threads);
+          const SolveOutcome o = spec->run(g, p);
+          EXPECT_EQ(o.labels, ref.labels);
+          EXPECT_EQ(o.metrics.rounds, ref.metrics.rounds);
+          EXPECT_EQ(o.metrics.edge_active_per_round,
+                    ref.metrics.edge_active_per_round);
+          EXPECT_EQ(o.metrics.edge_round_sum(),
+                    ref.metrics.edge_round_sum());
+          EXPECT_EQ(o.metrics.round_sum(), ref.metrics.round_sum());
+          EXPECT_EQ(o.metrics.worst_case(), ref.metrics.worst_case());
+          EXPECT_EQ(o.metrics.awake_sum(), ref.metrics.awake_sum());
+        }
+      }
+    }
+    set_engine_frontier_mode(FrontierMode::kAuto);
     set_engine_state_layout(StateLayout::kAuto);
     set_engine_threads(1);
   }

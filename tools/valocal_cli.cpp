@@ -1,5 +1,6 @@
 // valocal_cli — run any registered algorithm on any generated or
-// loaded graph and print the vertex-averaged / worst-case metrics.
+// loaded graph and print the vertex-averaged / edge-averaged /
+// worst-case metrics.
 //
 //   valocal_cli --gen forest --n 10000 --a 3 --algo mis
 //   valocal_cli --gen adversarial --n 65536 --algo a2logn --eps 2
@@ -55,9 +56,14 @@
 //              VA/WC distribution; with --threads T > 1 the trials run
 //              T at a time, byte-identical to the serial sweep
 //   --decay-csv    write the active-population decay series to a file
-//   --timings-csv  write per-round active counts + wall-clock to a file
+//   --edge-decay-csv  write the edge-decay series (edges still charged
+//              under the BGKO'22 cost max(r(u), r(v))) to a file
+//   --timings-csv  write per-round active/awake counts + wall-clock to
+//              a file
 //   --rounds-csv   write the per-vertex round counts r(v) to a file
 //   --histogram-csv  write the r(v) histogram (count per round value)
+//   --measures-csv write the full measure rollup (round_sum, vertex-,
+//              edge-averaged, worst-case, awake_sum) to a file
 //   --phase-table  print the per-phase VA/WC/round-sum breakdown
 //   --trace-json   write a Chrome-trace / Perfetto JSON timeline
 //   --run-json     write a JSONL run record (graph, phases, rounds)
@@ -135,11 +141,13 @@ Graph make_graph(const CliArgs& args) {
 /// Everything print_metrics needs beyond the Metrics themselves:
 /// side-channel output paths and the (optional) trace collector.
 struct ReportOptions {
-  std::string decay_csv;      // --decay-csv
-  std::string timings_csv;    // --timings-csv
-  std::string rounds_csv;     // --rounds-csv
-  std::string histogram_csv;  // --histogram-csv
-  bool phase_table = false;   // --phase-table
+  std::string decay_csv;       // --decay-csv
+  std::string edge_decay_csv;  // --edge-decay-csv
+  std::string timings_csv;     // --timings-csv
+  std::string rounds_csv;      // --rounds-csv
+  std::string histogram_csv;   // --histogram-csv
+  std::string measures_csv;    // --measures-csv
+  bool phase_table = false;    // --phase-table
   const trace::TraceCollector* collector = nullptr;
 };
 
@@ -153,17 +161,26 @@ void write_csv_if(const std::string& path, const Metrics& m,
 }
 
 void print_metrics(const Metrics& m, const ReportOptions& opts) {
+  // Every semantic measure on one line; wall-ms stays last — it is the
+  // only nondeterministic field, and scripts strip the line's tail
+  // from "wall-ms=" on when diffing runs (scripts/run_all.sh).
   std::cout << "rounds: vertex-averaged=" << m.vertex_averaged()
+            << " edge-averaged=" << m.edge_averaged()
             << " worst-case=" << m.worst_case()
             << " round-sum=" << m.round_sum()
+            << " edge-round-sum=" << m.edge_round_sum()
             << " wall-ms=" << m.total_wall_ns() / 1e6 << "\n";
   write_csv_if(opts.decay_csv, m, write_decay_csv, "decay series");
+  write_csv_if(opts.edge_decay_csv, m, write_edge_decay_csv,
+               "edge-decay series");
   write_csv_if(opts.timings_csv, m, write_round_timings_csv,
                "round timings");
   write_csv_if(opts.rounds_csv, m, write_rounds_csv,
                "per-vertex rounds");
   write_csv_if(opts.histogram_csv, m, write_rounds_histogram_csv,
                "rounds histogram");
+  write_csv_if(opts.measures_csv, m, write_measures_csv,
+               "measure rollup");
   if (opts.phase_table && opts.collector != nullptr &&
       !opts.collector->runs().empty())
     opts.collector->print_phase_table(std::cout);
@@ -222,6 +239,7 @@ int run_batched(const CliArgs& args, const registry::AlgoSpec& spec,
 
   bool all_ok = true;
   double mean_va = 0.0, max_va = 0.0;
+  double mean_ea = 0.0, max_ea = 0.0;
   std::size_t max_wc = 0;
   std::uint64_t round_sum = 0;
   for (const registry::SolveOutcome& o : outcomes) {
@@ -229,6 +247,9 @@ int run_batched(const CliArgs& args, const registry::AlgoSpec& spec,
     const double va = o.metrics.vertex_averaged();
     mean_va += va / static_cast<double>(trials);
     max_va = std::max(max_va, va);
+    const double ea = o.metrics.edge_averaged();
+    mean_ea += ea / static_cast<double>(trials);
+    max_ea = std::max(max_ea, ea);
     max_wc = std::max(max_wc, o.metrics.worst_case());
     round_sum += o.metrics.round_sum();
   }
@@ -236,6 +257,7 @@ int run_batched(const CliArgs& args, const registry::AlgoSpec& spec,
             << params.seed << ".." << params.seed + trials - 1
             << "): valid=" << (all_ok ? "yes" : "NO") << "\n"
             << "rounds: mean-VA=" << mean_va << " max-VA=" << max_va
+            << " mean-EA=" << mean_ea << " max-EA=" << max_ea
             << " max-WC=" << max_wc << " total-round-sum=" << round_sum
             << "\n";
   return all_ok ? 0 : 1;
@@ -273,6 +295,7 @@ int main(int argc, char** argv) {
   args.check_known({"gen", "graph", "input", "load-bin", "save-bin",
                     "stats", "n", "a", "k", "eps", "seed",
                     "avg-deg", "algo", "dot", "perm", "decay-csv",
+                    "edge-decay-csv", "measures-csv",
                     "threads", "batch-trials", "timings-csv",
                     "rounds-csv", "histogram-csv", "phase-table",
                     "trace-json", "run-json", "sleep-hints",
@@ -330,9 +353,11 @@ int main(int argc, char** argv) {
 
   ReportOptions opts;
   opts.decay_csv = args.get_string("decay-csv", "");
+  opts.edge_decay_csv = args.get_string("edge-decay-csv", "");
   opts.timings_csv = args.get_string("timings-csv", "");
   opts.rounds_csv = args.get_string("rounds-csv", "");
   opts.histogram_csv = args.get_string("histogram-csv", "");
+  opts.measures_csv = args.get_string("measures-csv", "");
   opts.phase_table = args.has("phase-table");
 
   // Any trace flag installs the collector for the whole dispatch; with
